@@ -1,0 +1,34 @@
+"""Shared benchmark configuration.
+
+Every benchmark regenerates one of the paper's tables or figures at the
+``bench`` scale (a few thousand simulated cycles - the paper's full
+100k-cycle windows are available by setting REPRO_SCALE=full) and prints
+the same rows/series the paper reports, so the harness output can be
+compared against the paper side by side.
+"""
+
+import os
+
+import pytest
+
+SCALE = os.environ.get("REPRO_SCALE", "bench")
+SEED = int(os.environ.get("REPRO_SEED", "1"))
+
+
+@pytest.fixture(scope="session")
+def scale():
+    return SCALE
+
+
+@pytest.fixture(scope="session")
+def seed():
+    return SEED
+
+
+def run_once(benchmark, fn):
+    """Run ``fn`` exactly once under pytest-benchmark timing.
+
+    Cycle-level simulation is deterministic and expensive; one round is
+    both sufficient and honest.
+    """
+    return benchmark.pedantic(fn, rounds=1, iterations=1)

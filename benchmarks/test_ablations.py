@@ -1,0 +1,93 @@
+"""Ablation benches for the reproduction's NoRD design choices.
+
+DESIGN.md documents three parameters the paper leaves open (sleep
+hysteresis, bypass buffering depth, threshold asymmetry); these benches
+quantify each choice on a fixed workload so future changes can be judged
+against the recorded trade-off.
+"""
+
+import dataclasses
+
+from repro.config import Design, NoCConfig, SimConfig
+from repro.core.ring import build_ring
+from repro.core.thresholds import ThresholdPolicy
+from repro.noc.network import Network
+from repro.noc.topology import Mesh
+from repro.power.model import PowerModel
+from repro.stats.report import format_table, percent
+from repro.traffic.parsec import make_traffic
+
+from conftest import run_once
+
+BENCH = "bodytrack"
+
+
+def run_nord(pg_overrides=None, policy_kwargs=None, seed=1):
+    cfg = SimConfig(design=Design.NORD, noc=NoCConfig(),
+                    warmup_cycles=500, measure_cycles=4_000,
+                    drain_cycles=8_000, seed=seed)
+    if pg_overrides:
+        cfg = cfg.replace(pg=dataclasses.replace(cfg.pg, **pg_overrides))
+    policy = None
+    if policy_kwargs is not None:
+        mesh = Mesh(cfg.noc.width, cfg.noc.height)
+        policy = ThresholdPolicy(mesh, build_ring(mesh), cfg.pg,
+                                 **policy_kwargs)
+    net = Network(cfg, threshold_policy=policy)
+    result = net.run(make_traffic(net.mesh, BENCH, seed=seed))
+    energy = PowerModel(cfg).evaluate(result)
+    return (f"{result.avg_packet_latency:.1f}",
+            percent(energy.router_static_j / energy.router_static_nopg_j),
+            result.total_wakeups,
+            percent(energy.pg_overhead_j / energy.router_static_nopg_j))
+
+
+HEADERS = ("variant", "latency", "static vs No_PG", "wakeups", "overhead")
+
+
+def test_ablation_sleep_hysteresis(benchmark):
+    def run():
+        return [(f"nord_min_idle={v}",) + run_nord({"nord_min_idle": v})
+                for v in (1, 4, 8, 16)]
+
+    rows = run_once(benchmark, run)
+    print()
+    print(format_table(HEADERS, rows,
+                       title="ablation: NoRD sleep hysteresis (bodytrack)"))
+    # smaller hysteresis saves more static energy but costs wakeups
+    static = [float(r[2].rstrip("%")) for r in rows]
+    wakeups = [r[3] for r in rows]
+    assert static[0] <= static[-1] + 2.0
+    assert wakeups[0] >= wakeups[-1]
+
+
+def test_ablation_bypass_depth(benchmark):
+    def run():
+        return [(f"bypass_depth={v}",) + run_nord({"bypass_depth": v})
+                for v in (1, 2, 3)]
+
+    rows = run_once(benchmark, run)
+    print()
+    print(format_table(HEADERS, rows,
+                       title="ablation: bypass buffering depth (bodytrack)"))
+    # deeper bypass buffering must not make latency worse
+    lat = [float(r[1]) for r in rows]
+    assert lat[2] <= lat[0] * 1.2
+
+
+def test_ablation_threshold_asymmetry(benchmark):
+    def run():
+        return [
+            ("asymmetric (paper)",) + run_nord(),
+            ("symmetric Req=3",) + run_nord(policy_kwargs={"symmetric": True}),
+            ("symmetric Req=1",) + run_nord(
+                pg_overrides={"power_threshold": 1},
+                policy_kwargs={"symmetric": True}),
+        ]
+
+    rows = run_once(benchmark, run)
+    print()
+    print(format_table(
+        HEADERS, rows,
+        title="ablation: asymmetric wakeup thresholds (bodytrack)"))
+    assert len(rows) == 3

@@ -1,0 +1,15 @@
+"""Section 6.8: area overhead."""
+
+import pytest
+
+from repro.experiments import area_overhead
+
+from conftest import run_once
+
+
+def test_area_overhead(benchmark, scale, seed):
+    res = run_once(benchmark, lambda: area_overhead.run(scale, seed))
+    print()
+    print(area_overhead.report(res))
+    # paper: 3.1% over Conv_PG_OPT
+    assert res.nord_overhead == pytest.approx(0.031, abs=0.01)

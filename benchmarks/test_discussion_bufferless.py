@@ -1,0 +1,20 @@
+"""Section 6.8 discussion: bufferless routing vs power-gating."""
+
+import pytest
+
+from repro.experiments import discussion_bufferless
+
+from conftest import run_once
+
+
+def test_discussion_bufferless(benchmark, scale, seed):
+    res = run_once(benchmark, lambda: discussion_bufferless.run(scale, seed))
+    print()
+    print(discussion_bufferless.report(res))
+    buf = res.by_label("Bufferless")
+    # buffers are 55% of router static power (Figure 1(b)): bufferless
+    # removes exactly that share and nothing more
+    assert buf.static_vs_nopg == pytest.approx(0.45, abs=0.01)
+    # NoRD can gate below the bufferless static floor when routers sleep
+    nord = res.by_label("NoRD")
+    assert nord.static_vs_nopg < buf.static_vs_nopg + 0.15

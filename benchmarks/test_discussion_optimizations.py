@@ -1,0 +1,18 @@
+"""Section 6.8 discussion: optimized baseline vs optimized NoRD."""
+
+from repro.experiments import discussion_optimizations
+
+from conftest import run_once
+
+
+def test_discussion_optimizations(benchmark, scale, seed):
+    res = run_once(benchmark,
+                   lambda: discussion_optimizations.run(scale, seed))
+    print()
+    print(discussion_optimizations.report(res))
+    base = res.by_label("Conv_PG_OPT / speculative")
+    nord = res.by_label("NoRD / spec + aggressive")
+    # the paper's claim: "no clear advantages for the baseline"
+    assert nord.latency < base.latency * 1.15
+    assert nord.wakeups < base.wakeups
+    assert nord.static_vs_nopg < base.static_vs_nopg * 1.15

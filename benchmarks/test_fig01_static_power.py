@@ -1,0 +1,18 @@
+"""Figure 1: router static power share and decomposition."""
+
+import pytest
+
+from repro.experiments import fig1_static_power
+
+from conftest import run_once
+
+
+def test_fig1_static_power(benchmark, scale, seed):
+    res = run_once(benchmark, lambda: fig1_static_power.run(scale, seed))
+    print()
+    print(fig1_static_power.report(res))
+    shares = {(nm, v): s for nm, v, s in res.shares}
+    # paper anchors: 17.9% @65nm/1.2V, 35.4% @45nm/1.1V, 47.7% @32nm/1.0V
+    assert shares[(65, 1.2)] == pytest.approx(0.179, abs=0.002)
+    assert shares[(45, 1.1)] == pytest.approx(0.354, abs=0.002)
+    assert shares[(32, 1.0)] == pytest.approx(0.477, abs=0.002)

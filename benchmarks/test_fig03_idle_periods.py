@@ -1,0 +1,17 @@
+"""Figure 3 / Section 3.1: router idleness and idle-period fragmentation."""
+
+from repro.experiments import fig3_idle_periods
+
+from conftest import run_once
+
+
+def test_fig3_idle_periods(benchmark, scale, seed):
+    res = run_once(benchmark, lambda: fig3_idle_periods.run(scale, seed))
+    print()
+    print(fig3_idle_periods.report(res))
+    by_name = {r.benchmark: r for r in res.rows}
+    # paper: routers idle 30%~70%; x264 busiest, blackscholes lightest
+    assert by_name["x264"].idle_fraction < by_name["blackscholes"].idle_fraction
+    assert 0.25 < res.avg_idle < 0.75
+    # paper: >61% of idle periods are <= BET
+    assert res.avg_short_fraction > 0.5

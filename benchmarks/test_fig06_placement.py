@@ -1,0 +1,22 @@
+"""Figure 6: impact of powering-on routers (Floyd-Warshall placement)."""
+
+import pytest
+
+from repro.experiments import fig6_placement
+
+from conftest import run_once
+
+
+def test_fig6_placement(benchmark, scale, seed):
+    res = run_once(benchmark, lambda: fig6_placement.run(scale, seed))
+    print()
+    print(fig6_placement.report(res))
+    dists = [d for _, d, _ in res.curve]
+    lats = [l for _, _, l in res.curve]
+    # ring-only endpoint: 8 hops at 3 cycles; full mesh: 8/3 hops at 5
+    assert dists[0] == pytest.approx(8.0)
+    assert lats[0] == pytest.approx(3.0)
+    assert dists[-1] == pytest.approx(8 / 3)
+    assert lats[-1] == pytest.approx(5.0)
+    # a handful of routers recovers most of the distance (the knee)
+    assert dists[6] < 0.55 * dists[0]

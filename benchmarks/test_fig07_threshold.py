@@ -1,0 +1,17 @@
+"""Figure 7: wakeup-threshold calibration on the bypass ring."""
+
+from repro.experiments import fig7_threshold
+
+from conftest import run_once
+
+
+def test_fig7_threshold(benchmark, scale, seed):
+    res = run_once(benchmark, lambda: fig7_threshold.run(scale, seed))
+    print()
+    print(fig7_threshold.report(res))
+    lat = {p.rate: p.latency for p in res.points}
+    # the ring alone saturates at a small fraction of full throughput
+    assert lat[max(lat)] > 2.5 * lat[min(lat)]
+    # the request metric reaches the paper's threshold values in-range
+    assert res.rate_for_requests(1) is not None
+    assert res.rate_for_requests(3) is not None

@@ -1,0 +1,18 @@
+"""Figure 8: router static energy, normalized to No_PG."""
+
+from repro.config import Design
+from repro.experiments import fig8_static_energy
+
+from conftest import run_once
+
+
+def test_fig8_static_energy(benchmark, scale, seed):
+    res = run_once(benchmark, lambda: fig8_static_energy.run(scale, seed))
+    print()
+    print(fig8_static_energy.report(res))
+    # every gated design saves router static energy on every benchmark
+    for design in Design.GATED:
+        assert res.average(design) < 1.0
+    # idleness ordering survives: lightest benchmark saves the most
+    assert res.normalized["blackscholes"][Design.CONV_PG] < \
+        res.normalized["x264"][Design.CONV_PG]

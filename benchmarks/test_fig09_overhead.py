@@ -1,0 +1,17 @@
+"""Figure 9: power-gating overhead energy and wakeup counts."""
+
+from repro.config import Design
+from repro.experiments import fig9_overhead
+
+from conftest import run_once
+
+
+def test_fig9_overhead(benchmark, scale, seed):
+    res = run_once(benchmark, lambda: fig9_overhead.run(scale, seed))
+    print()
+    print(fig9_overhead.report(res))
+    # headline claims: NoRD cuts wakeups ~81% and overhead ~80.7% vs
+    # Conv_PG (we assert the >50% qualitative version at bench scale)
+    assert res.wakeup_reduction(Design.NORD, Design.CONV_PG) > 0.5
+    assert res.overhead_reduction(Design.NORD, Design.CONV_PG) > 0.5
+    assert res.wakeup_reduction(Design.NORD, Design.CONV_PG_OPT) > 0.4

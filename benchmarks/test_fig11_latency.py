@@ -1,0 +1,17 @@
+"""Figure 11: average packet latency on the PARSEC models."""
+
+from repro.config import Design
+from repro.experiments import fig11_latency
+
+from conftest import run_once
+
+
+def test_fig11_latency(benchmark, scale, seed):
+    res = run_once(benchmark, lambda: fig11_latency.run(scale, seed))
+    print()
+    print(fig11_latency.report(res))
+    # No_PG is the lower bound; early wakeup beats plain Conv_PG
+    assert res.average(Design.NO_PG) == min(res.average(d)
+                                            for d in Design.ALL)
+    assert res.degradation(Design.CONV_PG_OPT) < \
+        res.degradation(Design.CONV_PG)

@@ -1,0 +1,20 @@
+"""Figure 12: execution time model."""
+
+import pytest
+
+from repro.config import Design
+from repro.experiments import fig12_execution_time
+
+from conftest import run_once
+
+
+def test_fig12_execution_time(benchmark, scale, seed):
+    res = run_once(benchmark,
+                   lambda: fig12_execution_time.run(scale, seed))
+    print()
+    print(fig12_execution_time.report(res))
+    assert res.average_increase(Design.NO_PG) == pytest.approx(0.0)
+    # ordering: early wakeup mitigates Conv_PG's slowdown
+    assert res.average_increase(Design.CONV_PG_OPT) < \
+        res.average_increase(Design.CONV_PG)
+    assert 0.0 < res.average_increase(Design.CONV_PG) < 0.35

@@ -1,0 +1,19 @@
+"""Figure 13: hiding wakeup latency."""
+
+from repro.config import Design
+from repro.experiments import fig13_wakeup_latency
+
+from conftest import run_once
+
+
+def test_fig13_wakeup_latency(benchmark, scale, seed):
+    res = run_once(benchmark,
+                   lambda: fig13_wakeup_latency.run(scale, seed))
+    print()
+    print(fig13_wakeup_latency.report(res))
+    # paper: conventional latency climbs ~1.5x from 9 to 18 cycles of
+    # wakeup latency while NoRD stays flat
+    assert res.slope(Design.CONV_PG) > 1.1
+    assert res.slope(Design.NORD) < 1.1
+    assert res.slope(Design.NORD) < res.slope(Design.CONV_PG)
+    assert res.slope(Design.NORD) < res.slope(Design.CONV_PG_OPT)

@@ -1,0 +1,23 @@
+"""Figure 14: 16-node uniform-random load sweep."""
+
+from repro.config import Design
+from repro.experiments import fig14_load_sweep
+
+from conftest import run_once
+
+
+def test_fig14_load_sweep_16(benchmark, scale, seed):
+    res = run_once(benchmark, lambda: fig14_load_sweep.run(scale, seed))
+    print()
+    print(fig14_load_sweep.report(res))
+    rates = sorted(res.points)
+    low, high = res.points[rates[0]], res.points[rates[-2]]
+    # region 1: gating pays latency at low load, NoRD sleeps deepest
+    assert low[Design.CONV_PG_OPT].latency > low[Design.NO_PG].latency
+    assert low[Design.NORD].off_fraction > \
+        low[Design.CONV_PG_OPT].off_fraction
+    assert low[Design.NORD].power_w < low[Design.NO_PG].power_w
+    # region 2/3: designs converge as load wakes the network
+    mid = res.points[0.3]
+    assert abs(mid[Design.CONV_PG_OPT].latency
+               - mid[Design.NO_PG].latency) < 8

@@ -1,0 +1,12 @@
+"""Table 1: key simulation parameters."""
+
+from repro.experiments import table1_config
+
+from conftest import run_once
+
+
+def test_table1_configuration(benchmark, scale, seed):
+    res = run_once(benchmark, lambda: table1_config.run(scale, seed))
+    print()
+    print(table1_config.report(res))
+    assert len(res.rows) == 12

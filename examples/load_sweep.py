@@ -1,0 +1,70 @@
+#!/usr/bin/env python
+"""Load sweep: reproduce Figure 14's three regions on your terminal.
+
+Sweeps uniform-random injection from near-zero to saturation for No_PG,
+Conv_PG_OPT and NoRD and renders latency-vs-load as ASCII sparklines plus
+the full table, so the three regions of Section 6.7 are visible at a
+glance:
+
+1. low load - power-gated designs pay latency (wakeups / detours) but
+   save the most power; NoRD sleeps deepest with the fewest wakeups;
+2. medium load - the designs converge as traffic keeps routers awake;
+3. saturation - all curves blow up (NoRD's ring escape a little earlier).
+
+Usage::
+
+    python examples/load_sweep.py [width] [height]
+"""
+
+import sys
+
+from repro.config import Design
+from repro.experiments.fig14_load_sweep import sweep
+from repro.experiments.common import uniform_factory
+from repro.stats.report import format_table
+
+DESIGNS = (Design.NO_PG, Design.CONV_PG_OPT, Design.NORD)
+RATES = (0.02, 0.05, 0.1, 0.2, 0.3, 0.4)
+BARS = " .:-=+*#%@"
+
+
+def spark(values, lo, hi):
+    out = []
+    for v in values:
+        frac = 0.0 if hi == lo else (min(v, hi) - lo) / (hi - lo)
+        out.append(BARS[min(len(BARS) - 1, int(frac * (len(BARS) - 1)))])
+    return "".join(out)
+
+
+def main() -> None:
+    width = int(sys.argv[1]) if len(sys.argv) > 1 else 4
+    height = int(sys.argv[2]) if len(sys.argv) > 2 else 4
+    print(f"Sweeping {width}x{height} mesh, uniform random, "
+          f"rates {RATES} ...\n")
+    res = sweep(DESIGNS, RATES, uniform_factory, width=width, height=height,
+                pattern="uniform random", scale="bench", seed=1)
+    rates = sorted(res.points)
+    rows = []
+    for rate in rates:
+        row = [f"{rate:.2f}"]
+        for d in DESIGNS:
+            p = res.points[rate][d]
+            row.append(f"{p.latency:.1f}")
+            row.append(f"{p.power_w:.2f}")
+        rows.append(tuple(row))
+    headers = ("rate",) + sum(((f"{d} lat", f"{d} W") for d in DESIGNS), ())
+    print(format_table(headers, rows, title="Figure 14 data"))
+
+    all_lat = [res.points[r][d].latency for r in rates for d in DESIGNS]
+    lo, hi = min(all_lat), min(max(all_lat), 4 * min(all_lat))
+    print("\nlatency vs load (darker = higher, clipped at 4x zero-load):")
+    for d in DESIGNS:
+        series = [res.points[r][d].latency for r in rates]
+        print(f"  {d:12s} |{spark(series, lo, hi)}|")
+    print("\nsaturation estimates (first rate above 3x zero-load latency):")
+    for d in DESIGNS:
+        print(f"  {d:12s} {res.saturation_rate(d)}")
+
+
+if __name__ == "__main__":
+    main()

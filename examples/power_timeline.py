@@ -1,0 +1,55 @@
+#!/usr/bin/env python
+"""Power-state timeline: watch routers sleep and wake under real traffic.
+
+Runs a NoRD network on a bursty PARSEC-like workload, samples every
+router's power state each cycle, and renders one ASCII strip per router —
+the paper's Figure 2(b) sleep/wake intervals, per router, over live
+traffic.  A Conv_PG strip is printed for contrast: note how much more
+often it flips state (every flip costs a breakeven time of energy).
+
+Usage::
+
+    python examples/power_timeline.py [benchmark] [cycles]
+"""
+
+import sys
+
+from repro.config import Design, SimConfig
+from repro.noc.network import Network
+from repro.stats.visualize import StateTimeline, power_state_map, ring_map
+from repro.traffic.parsec import BENCHMARKS, make_traffic
+
+
+def timeline(design: str, benchmark: str, cycles: int) -> StateTimeline:
+    cfg = SimConfig(design=design, warmup_cycles=0, measure_cycles=cycles)
+    net = Network(cfg)
+    traffic = make_traffic(net.mesh, benchmark, seed=7)
+    tl = StateTimeline(net)
+    tl.run(cycles, traffic)
+    return tl
+
+
+def main() -> None:
+    benchmark = sys.argv[1] if len(sys.argv) > 1 else "blackscholes"
+    cycles = int(sys.argv[2]) if len(sys.argv) > 2 else 2400
+    if benchmark not in BENCHMARKS:
+        raise SystemExit(f"unknown benchmark; choose from {list(BENCHMARKS)}")
+    stride = max(1, cycles // 110)
+
+    for design in (Design.CONV_PG, Design.NORD):
+        print(f"\n=== {design} on {benchmark} ({cycles} cycles, "
+              f"1 char = {stride} cycles) ===")
+        tl = timeline(design, benchmark, cycles)
+        print(tl.render(stride=stride))
+        offs = tl.off_fractions()
+        print(f"mean off fraction: {sum(offs) / len(offs):.2f}")
+        transitions = sum(c.wakeups for c in tl.network.controllers)
+        print(f"total wakeups: {transitions}")
+        if design == Design.NORD:
+            print("\nfinal power-state map / bypass ring:")
+            print(power_state_map(tl.network))
+            print(ring_map(tl.network))
+
+
+if __name__ == "__main__":
+    main()

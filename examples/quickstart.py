@@ -1,0 +1,69 @@
+#!/usr/bin/env python
+"""Quickstart: simulate the four designs on one workload and compare.
+
+Runs the paper's four design points (No_PG, Conv_PG, Conv_PG_OPT, NoRD) on
+a 4x4 mesh under uniform-random traffic at 10% load, then prints latency,
+energy and power-gating statistics side by side - a miniature of the
+paper's headline comparison.
+
+Usage::
+
+    python examples/quickstart.py [rate]
+"""
+
+import sys
+
+from repro.config import Design, NoCConfig, SimConfig
+from repro.noc.network import Network
+from repro.power.model import PowerModel
+from repro.stats.report import format_table, percent
+from repro.traffic.synthetic import uniform_random
+
+
+def simulate(design: str, rate: float, seed: int = 1):
+    """One design point: build the network, run, evaluate energy."""
+    cfg = SimConfig(
+        design=design,
+        noc=NoCConfig(width=4, height=4),
+        warmup_cycles=1_000,
+        measure_cycles=8_000,
+        drain_cycles=10_000,
+        seed=seed,
+    )
+    net = Network(cfg)
+    traffic = uniform_random(net.mesh, rate, seed=seed)
+    result = net.run(traffic)
+    energy = PowerModel(cfg).evaluate(result)
+    return result, energy
+
+
+def main() -> None:
+    rate = float(sys.argv[1]) if len(sys.argv) > 1 else 0.1
+    print(f"Comparing designs at {rate} flits/node/cycle "
+          f"(uniform random, 4x4 mesh)\n")
+    rows = []
+    baseline_static = None
+    for design in Design.ALL:
+        result, energy = simulate(design, rate)
+        if baseline_static is None:
+            baseline_static = energy.router_static_j
+        rows.append((
+            design,
+            f"{result.avg_packet_latency:.1f}",
+            f"{result.avg_hops:.2f}",
+            percent(result.avg_off_fraction),
+            result.total_wakeups,
+            percent(energy.router_static_j / baseline_static),
+            f"{energy.avg_power_w:.2f}",
+        ))
+    print(format_table(
+        ("design", "latency (cyc)", "hops", "router off", "wakeups",
+         "static vs No_PG", "NoC power (W)"),
+        rows))
+    print("\nThe NoRD row should show by far the fewest wakeups: packets "
+          "ride the\ndecoupling bypass instead of waking routers "
+          "(Sections 4.2-4.3 of the paper).")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,87 @@
+#!/usr/bin/env python
+"""Ring designer: explore Bypass Ring construction and router placement.
+
+NoRD's effectiveness depends on where the Bypass Ring runs and which
+routers are classified performance-centric (Section 4.4).  This example
+
+1. draws the default Bypass Ring for a mesh,
+2. runs the Floyd-Warshall placement analysis (Figure 6),
+3. compares the analysis-chosen performance-centric set against the
+   paper's hand-picked set by simulating both.
+
+Usage::
+
+    python examples/ring_designer.py [width] [height]
+"""
+
+import sys
+
+from repro.config import Design, NoCConfig, SimConfig
+from repro.core.placement import (PAPER_PERF_CENTRIC_4X4, PlacementAnalysis)
+from repro.core.ring import build_ring
+from repro.core.thresholds import ThresholdPolicy
+from repro.noc.network import Network
+from repro.noc.topology import Mesh
+from repro.stats.report import format_table
+from repro.traffic.synthetic import uniform_random
+
+
+def draw_ring(mesh, ring):
+    """Render the ring order on the mesh grid."""
+    pos = {node: ring.position[node] for node in range(mesh.num_nodes)}
+    print("Bypass Ring positions (node id -> ring index):")
+    for y in reversed(range(mesh.height)):
+        row = "  ".join(f"{mesh.node(x, y):3d}({pos[mesh.node(x, y)]:2d})"
+                        for x in range(mesh.width))
+        print("   " + row)
+    print(f"   dateline after node {ring.dateline_node}\n")
+
+
+def simulate_with_set(mesh_cfg, perf_set, rate=0.1):
+    cfg = SimConfig(design=Design.NORD, noc=mesh_cfg, warmup_cycles=500,
+                    measure_cycles=4000, drain_cycles=8000)
+    mesh = Mesh(mesh_cfg.width, mesh_cfg.height)
+    ring = build_ring(mesh)
+    policy = ThresholdPolicy(mesh, ring, cfg.pg, perf_centric=perf_set)
+    net = Network(cfg, threshold_policy=policy)
+    result = net.run(uniform_random(net.mesh, rate, seed=1))
+    return result
+
+
+def main() -> None:
+    width = int(sys.argv[1]) if len(sys.argv) > 1 else 4
+    height = int(sys.argv[2]) if len(sys.argv) > 2 else 4
+    mesh = Mesh(width, height)
+    ring = build_ring(mesh)
+    draw_ring(mesh, ring)
+
+    analysis = PlacementAnalysis(mesh, ring)
+    k = max(1, (mesh.num_nodes * 6) // 16)
+    if mesh.num_nodes <= 16:
+        chosen = analysis.knee_set(k)
+    else:  # greedy Floyd-Warshall is slow on big meshes; use the heuristic
+        from repro.core.placement import central_routers
+        chosen = central_routers(mesh, k)
+    d, l = analysis.metrics(chosen)
+    print(f"analysis-chosen performance-centric set ({k} routers): "
+          f"{sorted(chosen)}")
+    print(f"  -> avg distance {d:.2f} hops, per-hop latency {l:.2f} cyc\n")
+
+    candidates = {"analysis set": frozenset(chosen)}
+    if (width, height) == (4, 4):
+        candidates["paper set"] = PAPER_PERF_CENTRIC_4X4
+    rows = []
+    noc = NoCConfig(width=width, height=height)
+    for name, perf_set in candidates.items():
+        result = simulate_with_set(noc, perf_set)
+        rows.append((name, ",".join(map(str, sorted(perf_set))),
+                     f"{result.avg_packet_latency:.1f}",
+                     f"{result.avg_off_fraction:.2f}",
+                     result.total_wakeups))
+    print(format_table(
+        ("classification", "routers", "latency", "off fraction", "wakeups"),
+        rows, title="NoRD simulation with each classification @ 0.1 load"))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,68 @@
+#!/usr/bin/env python
+"""Wakeup tuning: reproduce the Figure 7 calibration and ablate thresholds.
+
+Part 1 repeats the paper's Section 6.1 methodology: force every router to
+sleep, sweep the load, and watch latency and the VC-request metric - this
+is how the thresholds (1 for performance-centric, 3 for power-centric)
+were chosen.
+
+Part 2 ablates the threshold assignment on live NoRD runs: symmetric-low,
+symmetric-high and the paper's asymmetric scheme, showing the
+latency/energy trade-off of Section 4.4.
+
+Usage::
+
+    python examples/wakeup_tuning.py
+"""
+
+import dataclasses
+
+from repro.config import Design, PowerGateConfig, SimConfig
+from repro.core.thresholds import ThresholdPolicy
+from repro.core.ring import build_ring
+from repro.experiments import fig7_threshold
+from repro.noc.network import Network
+from repro.noc.topology import Mesh
+from repro.power.model import PowerModel
+from repro.stats.report import format_table, percent
+from repro.traffic.synthetic import uniform_random
+
+
+def ablate(name, perf_threshold, power_threshold, symmetric=False):
+    cfg = SimConfig(design=Design.NORD, warmup_cycles=500,
+                    measure_cycles=4000, drain_cycles=8000)
+    cfg = cfg.replace(pg=dataclasses.replace(
+        cfg.pg, perf_threshold=perf_threshold,
+        power_threshold=power_threshold))
+    mesh = Mesh(cfg.noc.width, cfg.noc.height)
+    ring = build_ring(mesh)
+    policy = ThresholdPolicy(mesh, ring, cfg.pg, symmetric=symmetric)
+    net = Network(cfg, threshold_policy=policy)
+    result = net.run(uniform_random(net.mesh, 0.08, seed=1))
+    energy = PowerModel(cfg).evaluate(result)
+    return (name,
+            f"{result.avg_packet_latency:.1f}",
+            percent(result.avg_off_fraction),
+            result.total_wakeups,
+            percent(energy.router_static_j / energy.router_static_nopg_j))
+
+
+def main() -> None:
+    print("Part 1 - Figure 7 calibration (all routers forced asleep):\n")
+    res = fig7_threshold.run("bench")
+    print(fig7_threshold.report(res))
+
+    print("\nPart 2 - threshold ablation on live NoRD @ 0.08 load:\n")
+    rows = [
+        ablate("all routers Req=1 (eager)", 1, 1, symmetric=True),
+        ablate("all routers Req=3 (lazy)", 3, 3, symmetric=True),
+        ablate("paper: perf=1 / power=3", 1, 3),
+        ablate("extreme: perf=1 / power=8", 1, 8),
+    ]
+    print(format_table(
+        ("scheme", "latency", "router off", "wakeups", "static vs No_PG"),
+        rows, title="asymmetric wakeup-threshold ablation (Section 4.4)"))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,5 @@
+"""Shim for offline editable installs (`pip install -e . --no-use-pep517`)."""
+
+from setuptools import setup
+
+setup()

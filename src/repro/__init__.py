@@ -1,0 +1,20 @@
+"""NoRD reproduction: power-gating bypass for on-chip routers (MICRO 2012).
+
+Public entry points:
+
+* :class:`repro.config.SimConfig` / :class:`repro.config.Design` - configure
+  a design point,
+* :class:`repro.noc.Network` - the cycle-level simulator,
+* :mod:`repro.traffic` - synthetic and PARSEC-like workloads,
+* :mod:`repro.power` - the Orion-like power/area model,
+* :mod:`repro.experiments` - one module per paper table/figure.
+"""
+
+from .config import Design, NoCConfig, PowerGateConfig, RoutingConfig, SimConfig
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "Design", "NoCConfig", "PowerGateConfig", "RoutingConfig", "SimConfig",
+    "__version__",
+]

@@ -1,0 +1,119 @@
+"""Command-line interface: ``nord`` / ``python -m repro``.
+
+Subcommands:
+
+* ``nord run-all [--scale bench] [--seed 1]`` - regenerate every paper
+  table/figure;
+* ``nord <experiment>`` - one experiment (``fig8``, ``fig14``, ``area``,
+  ...; see ``nord list``);
+* ``nord simulate --design NoRD --traffic uniform --rate 0.1`` - a single
+  simulation run with a summary printout;
+* ``nord list`` - list available experiments.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from .config import Design, NoCConfig, SimConfig
+from .experiments.common import SCALES
+from .experiments.runner import EXPERIMENTS, run_all, run_experiment
+from .noc.network import Network
+from .power.model import PowerModel
+from .stats.report import format_table
+from .traffic.parsec import BENCHMARKS, make_traffic
+from .traffic.synthetic import bit_complement, uniform_random
+
+
+def _add_common(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--scale", choices=sorted(SCALES), default="bench",
+                        help="simulation length preset")
+    parser.add_argument("--seed", type=int, default=1)
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="nord",
+        description="NoRD (MICRO 2012) reproduction harness",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p_all = sub.add_parser("run-all", help="run every paper experiment")
+    _add_common(p_all)
+
+    sub.add_parser("list", help="list available experiments")
+
+    for name, (_, description) in EXPERIMENTS.items():
+        p = sub.add_parser(name, help=description)
+        _add_common(p)
+
+    p_sim = sub.add_parser("simulate", help="run one simulation")
+    _add_common(p_sim)
+    p_sim.add_argument("--design", choices=Design.ALL, default=Design.NORD)
+    p_sim.add_argument("--traffic", default="uniform",
+                       choices=("uniform", "bitcomp") + BENCHMARKS)
+    p_sim.add_argument("--rate", type=float, default=0.1,
+                       help="flits/node/cycle (synthetic traffic only)")
+    p_sim.add_argument("--width", type=int, default=4)
+    p_sim.add_argument("--height", type=int, default=4)
+    return parser
+
+
+def _simulate(args: argparse.Namespace) -> None:
+    scale = SCALES[args.scale]
+    cfg = SimConfig(
+        design=args.design,
+        noc=NoCConfig(width=args.width, height=args.height),
+        warmup_cycles=scale.warmup,
+        measure_cycles=scale.measure,
+        drain_cycles=scale.drain,
+        seed=args.seed,
+    )
+    net = Network(cfg)
+    if args.traffic == "uniform":
+        traffic = uniform_random(net.mesh, args.rate, seed=args.seed)
+    elif args.traffic == "bitcomp":
+        traffic = bit_complement(net.mesh, args.rate, seed=args.seed)
+    else:
+        traffic = make_traffic(net.mesh, args.traffic, seed=args.seed)
+    result = net.run(traffic)
+    energy = PowerModel(cfg).evaluate(result)
+    rows = [
+        ("design", args.design),
+        ("traffic", args.traffic),
+        ("measured cycles", result.cycles),
+        ("packets measured", result.packets_measured),
+        ("avg packet latency (cyc)", f"{result.avg_packet_latency:.2f}"),
+        ("avg hops", f"{result.avg_hops:.2f}"),
+        ("throughput (flits/node/cyc)",
+         f"{result.throughput_flits_per_node_cycle:.4f}"),
+        ("router off fraction", f"{result.avg_off_fraction:.3f}"),
+        ("router wakeups", result.total_wakeups),
+        ("NoC power (W)", f"{energy.avg_power_w:.3f}"),
+        ("router static energy (uJ)",
+         f"{energy.router_static_j * 1e6:.2f}"),
+        ("PG overhead energy (uJ)", f"{energy.pg_overhead_j * 1e6:.2f}"),
+    ]
+    print(format_table(("metric", "value"), rows, title="simulation"))
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    if args.command == "list":
+        for name, (_, description) in EXPERIMENTS.items():
+            print(f"{name:8s} {description}")
+        return 0
+    if args.command == "run-all":
+        run_all(args.scale, args.seed)
+        return 0
+    if args.command == "simulate":
+        _simulate(args)
+        return 0
+    print(run_experiment(args.command, args.scale, args.seed))
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,12 @@
+"""NoRD-specific machinery: Bypass Ring, placement analysis, thresholds."""
+
+from .placement import (PAPER_PERF_CENTRIC_4X4, PlacementAnalysis,
+                        central_routers, default_perf_centric)
+from .ring import BypassRing, build_ring, paper_ring_4x4, serpentine_ring
+from .thresholds import ThresholdPolicy
+
+__all__ = [
+    "BypassRing", "build_ring", "paper_ring_4x4", "serpentine_ring",
+    "PlacementAnalysis", "central_routers", "default_perf_centric",
+    "PAPER_PERF_CENTRIC_4X4", "ThresholdPolicy",
+]

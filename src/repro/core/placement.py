@@ -1,0 +1,241 @@
+"""Performance-centric router selection via Floyd-Warshall (Section 4.4).
+
+The paper selects which routers to classify as *performance-centric* (low
+wakeup threshold) with "a short off-line program based on the Floyd-Warshall
+all-pair shortest path algorithm": for a given set of powered-on routers it
+computes the best node-to-node average distance and the average per-hop
+latency (Figure 6), then picks a knee point (6 routers for the 4x4 example,
+namely routers {4, 5, 6, 7, 13, 14}).
+
+Reachability model (matching Section 4.2's routing rules):
+
+* an ON router can forward to an ON neighbor over any mesh link;
+* an ON router can forward to an OFF neighbor only through that neighbor's
+  Bypass Inport (i.e. only if it is the ring predecessor);
+* an OFF router can forward only along its Bypass Outport (the ring).
+
+Per-hop cost: traversing an ON router takes the full pipeline (4 stages +
+LT = 5 cycles); traversing an OFF router's bypass takes 2 stages + LT = 3
+cycles (Section 6.8).
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Dict, FrozenSet, Iterable, List, Optional, Sequence, Set, Tuple
+
+from ..noc.topology import Mesh
+from .ring import BypassRing
+
+INF = float("inf")
+
+#: The performance-centric set the paper reports for its 4x4 example.
+PAPER_PERF_CENTRIC_4X4 = frozenset({4, 5, 6, 7, 13, 14})
+
+#: Pipeline cost in cycles of a hop through an ON router (4 stages + LT).
+ON_HOP_COST = 5
+#: Pipeline cost in cycles of a hop through an OFF router's bypass.
+OFF_HOP_COST = 3
+
+
+def reachability_edges(mesh: Mesh, ring: BypassRing,
+                       on_set: Set[int]) -> List[List[int]]:
+    """Directed adjacency lists under a given set of powered-on routers."""
+    adj: List[List[int]] = [[] for _ in range(mesh.num_nodes)]
+    for node in range(mesh.num_nodes):
+        if node in on_set:
+            for _, nbr in mesh.neighbors(node):
+                if nbr in on_set or ring.successor[node] == nbr:
+                    adj[node].append(nbr)
+        else:
+            adj[node].append(ring.successor[node])
+    return adj
+
+
+def floyd_warshall(adj: Sequence[Sequence[int]]) -> List[List[float]]:
+    """All-pairs shortest hop counts for a directed graph."""
+    n = len(adj)
+    dist = [[INF] * n for _ in range(n)]
+    for u in range(n):
+        dist[u][u] = 0.0
+        for v in adj[u]:
+            dist[u][v] = 1.0
+    for k in range(n):
+        dk = dist[k]
+        for i in range(n):
+            dik = dist[i][k]
+            if dik == INF:
+                continue
+            di = dist[i]
+            for j in range(n):
+                alt = dik + dk[j]
+                if alt < di[j]:
+                    di[j] = alt
+    return dist
+
+
+def _weighted_distances(adj: Sequence[Sequence[int]],
+                        node_cost: Sequence[float]) -> List[List[float]]:
+    """All-pairs shortest *latencies*, where hop u->v costs node_cost[v]."""
+    n = len(adj)
+    dist = [[INF] * n for _ in range(n)]
+    for u in range(n):
+        dist[u][u] = 0.0
+        for v in adj[u]:
+            dist[u][v] = node_cost[v]
+    for k in range(n):
+        dk = dist[k]
+        for i in range(n):
+            dik = dist[i][k]
+            if dik == INF:
+                continue
+            di = dist[i]
+            for j in range(n):
+                alt = dik + dk[j]
+                if alt < di[j]:
+                    di[j] = alt
+    return dist
+
+
+class PlacementAnalysis:
+    """Offline analysis of powered-on router sets (reproduces Figure 6)."""
+
+    def __init__(self, mesh: Mesh, ring: BypassRing) -> None:
+        self.mesh = mesh
+        self.ring = ring
+
+    def metrics(self, on_set: Iterable[int]) -> Tuple[float, float]:
+        """Return (avg node-to-node distance in hops, avg per-hop latency).
+
+        Distance is the all-pairs average of shortest hop counts in the
+        reachability graph; per-hop latency is the all-pairs average of
+        (path latency / path hops) using ON/OFF per-hop costs.
+        """
+        on = set(on_set)
+        adj = reachability_edges(self.mesh, self.ring, on)
+        hops = floyd_warshall(adj)
+        cost = [float(ON_HOP_COST if v in on else OFF_HOP_COST)
+                for v in range(self.mesh.num_nodes)]
+        lat = _weighted_distances(adj, cost)
+        n = self.mesh.num_nodes
+        total_hops = 0.0
+        total_per_hop = 0.0
+        pairs = 0
+        for a in range(n):
+            for b in range(n):
+                if a == b:
+                    continue
+                if hops[a][b] == INF:
+                    raise RuntimeError(
+                        "bypass ring must keep the network connected")
+                total_hops += hops[a][b]
+                total_per_hop += lat[a][b] / hops[a][b]
+                pairs += 1
+        return total_hops / pairs, total_per_hop / pairs
+
+    def greedy_selection(self, *, refine: bool = True
+                         ) -> List[Tuple[FrozenSet[int], float, float]]:
+        """Greedy forward selection of powered-on routers.
+
+        Returns a list indexed by k (0..num_nodes): the chosen set of k
+        routers and its (avg distance, avg per-hop latency).  Step k+1 adds
+        the single router that most reduces average distance (ties broken
+        by per-hop latency, then node id, for determinism).  With
+        ``refine`` (the default), each set is additionally improved by
+        swap-based local search, which recovers the quality of the paper's
+        exhaustive offline program at a fraction of the cost.
+        """
+        chosen: Set[int] = set()
+        out: List[Tuple[FrozenSet[int], float, float]] = []
+        d, l = self.metrics(chosen)
+        out.append((frozenset(chosen), d, l))
+        remaining = set(range(self.mesh.num_nodes))
+        while remaining:
+            best: Optional[Tuple[float, float, int]] = None
+            for cand in sorted(remaining):
+                d, l = self.metrics(chosen | {cand})
+                key = (d, l, cand)
+                if best is None or key < best:
+                    best = key
+                    best_cand = cand
+                    best_metrics = (d, l)
+            chosen.add(best_cand)
+            remaining.discard(best_cand)
+            if refine:
+                chosen, best_metrics = self._refine(chosen, best_metrics)
+                remaining = set(range(self.mesh.num_nodes)) - chosen
+            out.append((frozenset(chosen), *best_metrics))
+        return out
+
+    def _refine(self, chosen: Set[int],
+                metrics: Tuple[float, float]
+                ) -> Tuple[Set[int], Tuple[float, float]]:
+        """Swap-based local search: replace one chosen router by one
+        unchosen router while it improves (distance, latency)."""
+        chosen = set(chosen)
+        best = metrics
+        improved = True
+        while improved:
+            improved = False
+            others = sorted(set(range(self.mesh.num_nodes)) - chosen)
+            for out_node in sorted(chosen):
+                for in_node in others:
+                    trial = (chosen - {out_node}) | {in_node}
+                    m = self.metrics(trial)
+                    if m < best:
+                        chosen = trial
+                        best = m
+                        improved = True
+                        break
+                if improved:
+                    break
+        return chosen, best
+
+    def knee_set(self, size: int = 6) -> FrozenSet[int]:
+        """The greedy set of ``size`` performance-centric routers."""
+        return self.greedy_selection()[size][0]
+
+    def exhaustive_best(self, size: int) -> Tuple[FrozenSet[int], float, float]:
+        """Exhaustively search the best set of ``size`` routers.
+
+        Exponential; intended for small meshes / small sizes in tests.
+        """
+        best = None
+        for combo in itertools.combinations(range(self.mesh.num_nodes), size):
+            d, l = self.metrics(combo)
+            key = (d, l, combo)
+            if best is None or key < best:
+                best = key
+        return frozenset(best[2]), best[0], best[1]
+
+
+def central_routers(mesh: Mesh, size: int) -> FrozenSet[int]:
+    """Pick ``size`` routers closest to the mesh center (heuristic).
+
+    Central routers provide the best shortcuts through the bypass ring's
+    detours; this is the cheap stand-in for the greedy Floyd-Warshall
+    selection on large meshes, where the exact search is expensive.
+    """
+    cx = (mesh.width - 1) / 2.0
+    cy = (mesh.height - 1) / 2.0
+    ranked = sorted(
+        range(mesh.num_nodes),
+        key=lambda n: (abs(mesh.xy(n)[0] - cx) + abs(mesh.xy(n)[1] - cy), n),
+    )
+    return frozenset(ranked[:size])
+
+
+def default_perf_centric(mesh: Mesh, ring: BypassRing,
+                         size: Optional[int] = None) -> FrozenSet[int]:
+    """Default performance-centric router classification.
+
+    For the paper's 4x4 mesh this returns the paper's own set
+    {4, 5, 6, 7, 13, 14}; larger meshes use the central-router heuristic
+    with the same 6-of-16 ratio (the exact greedy Floyd-Warshall selection
+    remains available through :class:`PlacementAnalysis`).
+    """
+    if size is None:
+        size = max(1, (mesh.num_nodes * 6) // 16)
+    if (mesh.width, mesh.height) == (4, 4) and size == 6:
+        return PAPER_PERF_CENTRIC_4X4
+    return central_routers(mesh, size)

@@ -1,0 +1,54 @@
+"""Asymmetric wakeup thresholds (Section 4.4 / 6.1).
+
+Routers fall into two classes:
+
+* **performance-centric** - critical shortcut locations; wakeup threshold 1
+  (a single VC request at the local NI within the observation window wakes
+  the router);
+* **power-centric** - everyone else; wakeup threshold 3, letting them sleep
+  through short traffic spikes.
+
+The classification is static and computed offline (see
+:mod:`repro.core.placement`).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, FrozenSet, Optional
+
+from ..config import PowerGateConfig
+from ..noc.topology import Mesh
+from .placement import default_perf_centric
+from .ring import BypassRing
+
+
+class ThresholdPolicy:
+    """Maps each router to its wakeup threshold (VC requests per window)."""
+
+    def __init__(self, mesh: Mesh, ring: BypassRing, pg: PowerGateConfig,
+                 perf_centric: Optional[FrozenSet[int]] = None,
+                 *, symmetric: bool = False) -> None:
+        self.mesh = mesh
+        self.pg = pg
+        if symmetric:
+            self.perf_centric: FrozenSet[int] = frozenset()
+        elif perf_centric is not None:
+            self.perf_centric = frozenset(perf_centric)
+        else:
+            self.perf_centric = default_perf_centric(mesh, ring)
+        self._thresholds: Dict[int, int] = {
+            node: (pg.perf_threshold if node in self.perf_centric
+                   else pg.power_threshold)
+            for node in range(mesh.num_nodes)
+        }
+
+    def threshold(self, node: int) -> int:
+        return self._thresholds[node]
+
+    def is_performance_centric(self, node: int) -> bool:
+        return node in self.perf_centric
+
+    def __repr__(self) -> str:
+        return (f"ThresholdPolicy(perf_centric={sorted(self.perf_centric)}, "
+                f"thresholds=({self.pg.perf_threshold}, "
+                f"{self.pg.power_threshold}))")

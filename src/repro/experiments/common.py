@@ -1,0 +1,143 @@
+"""Shared infrastructure for the per-figure experiments.
+
+Every experiment supports three scales:
+
+* ``smoke`` - a few hundred cycles, for unit tests;
+* ``bench`` - a few thousand cycles, the default for the benchmark
+  harness (Python cycle-simulation is slow; the paper's 100k-cycle windows
+  are available as ``full``);
+* ``full``  - the paper's warmup/measurement lengths.
+
+PARSEC runs (4 designs x 10 benchmarks) are cached per (scale, seed,
+mesh) so the Figure 8-12 experiments share one sweep.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, Iterable, Optional, Tuple
+
+from ..config import Design, NoCConfig, SimConfig
+from ..noc.network import Network
+from ..power.model import EnergyReport, PowerModel
+from ..stats.collector import RunResult
+from ..traffic.base import TrafficGenerator
+from ..traffic.parsec import BENCHMARKS, make_traffic
+from ..traffic.synthetic import bit_complement, uniform_random
+
+
+@dataclass(frozen=True)
+class Scale:
+    name: str
+    warmup: int
+    measure: int
+    drain: int
+
+
+SCALES: Dict[str, Scale] = {
+    "smoke": Scale("smoke", 200, 1_000, 3_000),
+    "bench": Scale("bench", 500, 4_000, 8_000),
+    "full": Scale("full", 10_000, 100_000, 20_000),
+}
+
+
+def get_scale(scale: str) -> Scale:
+    try:
+        return SCALES[scale]
+    except KeyError:
+        raise ValueError(f"unknown scale {scale!r}; known: {list(SCALES)}"
+                         ) from None
+
+
+def build_config(design: str, scale: str = "bench", *, width: int = 4,
+                 height: int = 4, seed: int = 1, **overrides) -> SimConfig:
+    """A SimConfig for one design point at a given scale."""
+    s = get_scale(scale)
+    return SimConfig(
+        design=design,
+        noc=NoCConfig(width=width, height=height),
+        warmup_cycles=s.warmup,
+        measure_cycles=s.measure,
+        drain_cycles=s.drain,
+        seed=seed,
+    ).replace(**overrides)
+
+
+def run_design(design: str, traffic_factory: Callable[[Network],
+                                                      TrafficGenerator],
+               scale: str = "bench", *, width: int = 4, height: int = 4,
+               seed: int = 1,
+               configure: Optional[Callable[[SimConfig], SimConfig]] = None,
+               prepare: Optional[Callable[[Network], None]] = None,
+               ) -> Tuple[RunResult, EnergyReport]:
+    """Run one design point and evaluate its energy."""
+    cfg = build_config(design, scale, width=width, height=height, seed=seed)
+    if configure is not None:
+        cfg = configure(cfg)
+    net = Network(cfg)
+    if prepare is not None:
+        prepare(net)
+    traffic = traffic_factory(net)
+    result = net.run(traffic)
+    report = PowerModel(cfg).evaluate(result)
+    return result, report
+
+
+# ---------------------------------------------------------------------------
+# cached PARSEC sweep shared by the Figure 8-12 experiments
+# ---------------------------------------------------------------------------
+ParsecSweep = Dict[str, Dict[str, Tuple[RunResult, EnergyReport]]]
+
+_PARSEC_CACHE: Dict[Tuple[str, int, int, int], ParsecSweep] = {}
+
+
+def parsec_sweep(scale: str = "bench", seed: int = 1, *, width: int = 4,
+                 height: int = 4,
+                 designs: Iterable[str] = Design.ALL,
+                 benchmarks: Iterable[str] = BENCHMARKS) -> ParsecSweep:
+    """Run (or fetch from cache) the PARSEC benchmark sweep.
+
+    Returns ``sweep[benchmark][design] = (RunResult, EnergyReport)``.
+    """
+    key = (scale, seed, width, height)
+    sweep = _PARSEC_CACHE.setdefault(key, {})
+    for bench in benchmarks:
+        per_design = sweep.setdefault(bench, {})
+        for design in designs:
+            if design in per_design:
+                continue
+            per_design[design] = run_design(
+                design,
+                lambda net, b=bench: make_traffic(net.mesh, b, seed=seed),
+                scale, width=width, height=height, seed=seed,
+            )
+    return sweep
+
+
+def clear_parsec_cache() -> None:
+    _PARSEC_CACHE.clear()
+
+
+def uniform_factory(rate: float, seed: int = 1):
+    """Traffic factory for uniform-random synthetic load."""
+    return lambda net: uniform_random(net.mesh, rate, seed=seed)
+
+
+def bit_complement_factory(rate: float, seed: int = 1):
+    """Traffic factory for bit-complement synthetic load."""
+    return lambda net: bit_complement(net.mesh, rate, seed=seed)
+
+
+def geomean(values: Iterable[float]) -> float:
+    vals = [v for v in values]
+    if not vals:
+        return float("nan")
+    product = 1.0
+    for v in vals:
+        product *= v
+    return product ** (1.0 / len(vals))
+
+
+def mean(values: Iterable[float]) -> float:
+    vals = list(values)
+    return sum(vals) / len(vals) if vals else float("nan")

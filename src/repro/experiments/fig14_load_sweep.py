@@ -1,0 +1,106 @@
+"""Figure 14: 16-node behavior across the full load range (Section 6.7).
+
+Uniform-random traffic from near-zero load to saturation, comparing
+No_PG, Conv_PG_OPT and NoRD on average packet latency and NoC power.
+The paper's three regions:
+
+1. low-to-medium load: power-gating designs start with elevated latency
+   (wakeups for Conv_PG_OPT, detours for NoRD) that *decreases* as load
+   wakes more routers; NoRD has both lower latency and lower power than
+   Conv_PG_OPT;
+2. medium-to-high load: all three designs converge;
+3. saturation: NoRD saturates slightly earlier (its escape ring is less
+   flexible than escape XY).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, Tuple
+
+from ..config import Design
+from ..stats.report import format_table
+from .common import run_design, uniform_factory
+
+DESIGNS = (Design.NO_PG, Design.CONV_PG_OPT, Design.NORD)
+RATES_16 = (0.02, 0.05, 0.1, 0.15, 0.2, 0.3, 0.4, 0.5)
+
+
+@dataclass
+class SweepPoint:
+    latency: float
+    power_w: float
+    throughput: float
+    delivered_fraction: float
+    off_fraction: float
+
+
+@dataclass
+class LoadSweepResult:
+    #: points[rate][design]
+    points: Dict[float, Dict[str, SweepPoint]]
+    pattern: str
+    num_nodes: int
+
+    def saturation_rate(self, design: str,
+                        threshold: float = 3.0) -> float:
+        """First swept rate whose latency exceeds ``threshold`` x the
+        zero-load latency (a simple saturation criterion)."""
+        rates = sorted(self.points)
+        base = self.points[rates[0]][design].latency
+        for rate in rates:
+            if self.points[rate][design].latency > threshold * base:
+                return rate
+        return float("inf")
+
+
+def sweep(designs: Tuple[str, ...], rates: Tuple[float, ...],
+          factory: Callable[[float, int], Callable], *, width: int,
+          height: int, pattern: str, scale: str, seed: int
+          ) -> LoadSweepResult:
+    points: Dict[float, Dict[str, SweepPoint]] = {}
+    for rate in rates:
+        points[rate] = {}
+        for design in designs:
+            result, report_ = run_design(design, factory(rate, seed), scale,
+                                         width=width, height=height,
+                                         seed=seed)
+            delivered = (result.packets_ejected / result.packets_created
+                         if result.packets_created else 1.0)
+            points[rate][design] = SweepPoint(
+                latency=result.avg_packet_latency,
+                power_w=report_.avg_power_w,
+                throughput=result.throughput_flits_per_node_cycle,
+                delivered_fraction=min(1.0, delivered),
+                off_fraction=result.avg_off_fraction,
+            )
+    return LoadSweepResult(points=points, pattern=pattern,
+                           num_nodes=width * height)
+
+
+def run(scale: str = "bench", seed: int = 1,
+        rates: Tuple[float, ...] = RATES_16) -> LoadSweepResult:
+    return sweep(DESIGNS, rates, uniform_factory, width=4, height=4,
+                 pattern="uniform random", scale=scale, seed=seed)
+
+
+def report(res: LoadSweepResult) -> str:
+    headers = ("rate",) + tuple(f"{d} lat" for d in DESIGNS) \
+        + tuple(f"{d} W" for d in DESIGNS)
+    rows = []
+    for rate in sorted(res.points):
+        row = [f"{rate:.2f}"]
+        row += [f"{res.points[rate][d].latency:.1f}" for d in DESIGNS]
+        row += [f"{res.points[rate][d].power_w:.2f}" for d in DESIGNS]
+        rows.append(tuple(row))
+    return format_table(headers, rows,
+                        title=f"Figure 14: {res.num_nodes}-node "
+                              f"{res.pattern} load sweep")
+
+
+def main() -> None:
+    print(report(run()))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,64 @@
+"""Figure 15: 64-node load sweeps (Section 6.7).
+
+The 8x8 mesh under uniform-random and bit-complement traffic.  The paper's
+point: NoRD's advantage over Conv_PG_OPT *grows* with network size in the
+low-load region, because cumulative wakeup latency scales with hop count
+(at 10% uniform load the paper reports 36 / 52 / 44 cycles for No_PG /
+Conv_PG_OPT / NoRD on 8x8, vs 24 / 34 / 29 on 4x4).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Tuple
+
+from ..config import Design
+from ..stats.report import format_table
+from .common import bit_complement_factory, uniform_factory
+from .fig14_load_sweep import DESIGNS, LoadSweepResult, sweep
+
+RATES_UNIFORM = (0.02, 0.05, 0.1, 0.15, 0.2, 0.3)
+RATES_BITCOMP = (0.01, 0.02, 0.05, 0.08, 0.12, 0.16)
+
+
+@dataclass
+class Fig15Result:
+    uniform: LoadSweepResult
+    bit_complement: LoadSweepResult
+
+
+def run(scale: str = "bench", seed: int = 1,
+        rates_uniform: Tuple[float, ...] = RATES_UNIFORM,
+        rates_bitcomp: Tuple[float, ...] = RATES_BITCOMP) -> Fig15Result:
+    uni = sweep(DESIGNS, rates_uniform, uniform_factory, width=8, height=8,
+                pattern="uniform random", scale=scale, seed=seed)
+    bc = sweep(DESIGNS, rates_bitcomp, bit_complement_factory, width=8,
+               height=8, pattern="bit complement", scale=scale, seed=seed)
+    return Fig15Result(uniform=uni, bit_complement=bc)
+
+
+def _table(res: LoadSweepResult, label: str) -> str:
+    headers = ("rate",) + tuple(f"{d} lat" for d in DESIGNS) \
+        + tuple(f"{d} W" for d in DESIGNS)
+    rows = []
+    for rate in sorted(res.points):
+        row = [f"{rate:.2f}"]
+        row += [f"{res.points[rate][d].latency:.1f}" for d in DESIGNS]
+        row += [f"{res.points[rate][d].power_w:.2f}" for d in DESIGNS]
+        rows.append(tuple(row))
+    return format_table(headers, rows, title=label)
+
+
+def report(res: Fig15Result) -> str:
+    return (_table(res.uniform, "Figure 15 (left): 64-node uniform random")
+            + "\n\n"
+            + _table(res.bit_complement,
+                     "Figure 15 (right): 64-node bit complement"))
+
+
+def main() -> None:
+    print(report(run()))
+
+
+if __name__ == "__main__":
+    main()

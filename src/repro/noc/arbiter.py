@@ -1,0 +1,79 @@
+"""Round-robin arbiters used by the VC and switch allocators.
+
+The canonical wormhole router (Section 3.1) uses separable allocators built
+from round-robin arbiters; we model a matrix of independent round-robin
+arbiters, one per contended resource, which is how Garnet models them too.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Optional, Sequence
+
+
+class RoundRobinArbiter:
+    """Grants one of N requesters per invocation, rotating priority."""
+
+    __slots__ = ("size", "_last")
+
+    def __init__(self, size: int) -> None:
+        if size <= 0:
+            raise ValueError("arbiter needs at least one requester")
+        self.size = size
+        self._last = size - 1
+
+    def grant(self, requests: Sequence[bool]) -> Optional[int]:
+        """Return the granted requester index, or None if no requests.
+
+        Priority starts just after the last winner and wraps around, so the
+        arbiter is fair under persistent contention.
+        """
+        if len(requests) != self.size:
+            raise ValueError("request vector size mismatch")
+        for offset in range(1, self.size + 1):
+            idx = (self._last + offset) % self.size
+            if requests[idx]:
+                self._last = idx
+                return idx
+        return None
+
+    def grant_from(self, candidates: Iterable[int]) -> Optional[int]:
+        """Grant among an iterable of candidate indices."""
+        requests = [False] * self.size
+        any_req = False
+        for c in candidates:
+            requests[c] = True
+            any_req = True
+        if not any_req:
+            return None
+        return self.grant(requests)
+
+
+class AllocatorPool:
+    """A pool of round-robin arbiters, one per output resource.
+
+    Used for both VC allocation (one arbiter per output VC) and switch
+    allocation (one arbiter per output port), keyed by integer resource id.
+    """
+
+    __slots__ = ("arbiters", "requesters")
+
+    def __init__(self, num_resources: int, num_requesters: int) -> None:
+        self.requesters = num_requesters
+        self.arbiters: List[RoundRobinArbiter] = [
+            RoundRobinArbiter(num_requesters) for _ in range(num_resources)
+        ]
+
+    def allocate(self, requests: Sequence[Sequence[int]]):
+        """One allocation round.
+
+        ``requests[r]`` is the list of requester ids wanting resource ``r``.
+        Returns a list ``grants`` with ``grants[r]`` = granted requester id
+        or ``None``.  This is a single-iteration separable allocator: each
+        resource grants independently; callers must enforce any
+        one-grant-per-requester constraint (done naturally in our SA stage
+        because each input VC requests a single output).
+        """
+        return [
+            self.arbiters[r].grant_from(reqs) if reqs else None
+            for r, reqs in enumerate(requests)
+        ]

@@ -1,0 +1,577 @@
+"""The cycle-level network simulator.
+
+``Network`` owns every component - mesh, routers, NIs, links, power-gating
+controllers, the Bypass Ring (NoRD) - and advances them one cycle at a time
+in a fixed phase order that mirrors a synchronous design:
+
+1. traffic arrivals are enqueued at the NIs,
+2. credits in flight are delivered upstream,
+3. NIs run (ejection, bypass forwarding, injection),
+4. powered-on routers run their pipelines (SA -> VA -> RC),
+5. flits in flight are delivered (link traversal completion),
+6. power-gating controllers sample the PG/WU/IC conditions and transition,
+7. statistics are updated.
+
+The network also implements the global side effects of power-state
+transitions (Section 4.3): tagging neighbor output ports, clamping the ring
+predecessor's credits to the single bypass-latch slot, restarting upstream
+pipelines from RC, and the per-VC hand-over between bypass latches and
+input buffers when a router wakes up.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Set, Tuple
+
+from ..config import Design, SimConfig
+from ..core.ring import BypassRing, build_ring
+from ..powergate.controller import (GateInputs, NoPGController,
+                                    PowerGateController, PowerState,
+                                    Transition)
+from ..powergate.conventional import ConvPGController, ConvPGOptController
+from ..powergate.nord import NoRDController
+from ..routing.adaptive import AdaptiveXYEscape
+from ..routing.ring_escape import NoRDRouting
+from ..stats.collector import RouterActivity, RunResult, StatsCollector
+from .flit import Flit, Packet
+from .link import DelayLine, Link
+from .ni import NetworkInterface
+from .router import Router
+from .topology import LOCAL, NUM_PORTS, OPPOSITE, Mesh
+
+#: ST + LT: cycles between an SA grant (or NI bypass move) and the flit
+#: being written into the downstream buffer/latch.
+LINK_DELAY = 2
+#: NI-to-router injection wire delay.
+INJECT_DELAY = 1
+#: Cycles without any flit movement (while packets are outstanding) after
+#: which the simulator declares a deadlock and aborts with diagnostics.
+DEADLOCK_LIMIT = 5_000
+
+
+class Network:
+    """A complete simulated NoC for one design point."""
+
+    def __init__(self, cfg: SimConfig, threshold_policy=None) -> None:
+        self.cfg = cfg
+        self.mesh = Mesh(cfg.noc.width, cfg.noc.height)
+        self.now = 0
+        self.ring: Optional[BypassRing] = None
+        if cfg.design == Design.NORD:
+            self.ring = build_ring(self.mesh)
+            self.routing = NoRDRouting(
+                self.mesh, self.ring,
+                cfg.routing.resolved_misroute_cap(cfg.noc.width,
+                                                  cfg.noc.height))
+        else:
+            self.routing = AdaptiveXYEscape(
+                self.mesh,
+                cfg.routing.resolved_misroute_cap(cfg.noc.width,
+                                                  cfg.noc.height))
+        self.routers: List[Router] = [
+            Router(node, cfg, self.mesh, self)
+            for node in range(self.mesh.num_nodes)
+        ]
+        self.nis: List[NetworkInterface] = [
+            NetworkInterface(node, cfg, self)
+            for node in range(self.mesh.num_nodes)
+        ]
+        if cfg.design == Design.NORD and threshold_policy is None:
+            # Imported lazily: thresholds -> placement -> noc would
+            # otherwise form a package import cycle.
+            from ..core.thresholds import ThresholdPolicy
+            threshold_policy = ThresholdPolicy(self.mesh, self.ring, cfg.pg)
+        self.threshold_policy = threshold_policy
+        self.controllers: List[PowerGateController] = [
+            self._make_controller(node, threshold_policy)
+            for node in range(self.mesh.num_nodes)
+        ]
+        # Links: links_out[node][port] for the four mesh directions.
+        self.links_out: List[List[Optional[Link]]] = []
+        for node in range(self.mesh.num_nodes):
+            row: List[Optional[Link]] = [None] * NUM_PORTS
+            for port, nbr in self.mesh.neighbors(node):
+                row[port] = Link(node, port, nbr, OPPOSITE[port], LINK_DELAY)
+            self.links_out.append(row)
+        self.inject_lines: List[DelayLine] = [
+            DelayLine(INJECT_DELAY) for _ in range(self.mesh.num_nodes)
+        ]
+        self.eject_lines: List[DelayLine] = [
+            DelayLine(LINK_DELAY) for _ in range(self.mesh.num_nodes)
+        ]
+        self.stats = StatsCollector(cfg.design, self.mesh.num_nodes)
+        self.n_link_flits = 0
+        self.early_wakeup = cfg.design == Design.CONV_PG_OPT
+        self._wu_now: Set[int] = set()
+        self._outstanding = 0  # flits injected but not yet sunk
+        self._last_progress = 0
+
+    def _make_controller(self, node: int,
+                         policy):
+        design = self.cfg.design
+        if design == Design.NO_PG:
+            return NoPGController(node, self.cfg.pg)
+        if design == Design.CONV_PG:
+            return ConvPGController(node, self.cfg.pg)
+        if design == Design.CONV_PG_OPT:
+            return ConvPGOptController(node, self.cfg.pg)
+        return NoRDController(
+            node, self.cfg.pg, policy.threshold(node),
+            performance_centric=policy.is_performance_centric(node))
+
+    # ------------------------------------------------------------------
+    # component accessors / state queries
+    # ------------------------------------------------------------------
+    def router(self, node: int) -> Router:
+        return self.routers[node]
+
+    def router_on(self, node: int) -> bool:
+        return self.controllers[node].state == PowerState.ON
+
+    def bypass_active(self, node: int) -> bool:
+        """True when the node's bypass datapath carries traffic (NoRD and
+        the router is OFF or still WAKING, Section 4.3)."""
+        return (self.cfg.design == Design.NORD
+                and self.controllers[node].state != PowerState.ON)
+
+    def neighbor_awake(self, node: int, port: int) -> bool:
+        nbr = self.mesh.neighbor(node, port)
+        if nbr is None:
+            return False
+        return self.router_on(nbr)
+
+    def port_usable(self, node: int, port: int) -> bool:
+        """NoRD reachability: an off router is enterable only through its
+        Bypass Inport (Section 4.2)."""
+        if port == LOCAL:
+            return True
+        nbr = self.mesh.neighbor(node, port)
+        if nbr is None:
+            return False
+        if self.router_on(nbr):
+            return True
+        return (self.ring is not None and self.ring.successor[node] == nbr)
+
+    # ------------------------------------------------------------------
+    # datapath services used by routers and NIs
+    # ------------------------------------------------------------------
+    def send_flit(self, node: int, out_port: int, flit: Flit, out_vc: int,
+                  now: int, *, fast: bool = False) -> None:
+        """Launch ST+LT.  ``fast`` shaves one cycle: the aggressive bypass
+        (Section 6.8) connects the Bypass Inport straight to the Bypass
+        Outport when nothing conflicts."""
+        self._last_progress = now
+        if out_port == LOCAL:
+            self.eject_lines[node].send((flit, out_vc), now)
+            return
+        link = self.links_out[node][out_port]
+        if link is None:
+            raise RuntimeError(f"node {node} has no link on port {out_port}")
+        if fast:
+            link.flits.send((flit, out_vc), now - 1)
+        else:
+            link.flits.send((flit, out_vc), now)
+        self.n_link_flits += 1
+        if flit.is_head:
+            flit.packet.hops += 1
+
+    def send_inject(self, node: int, flit: Flit, out_vc: int,
+                    now: int) -> None:
+        self._last_progress = now
+        self.inject_lines[node].send((flit, out_vc), now)
+
+    def credit_upstream(self, node: int, in_port: int, vc: int,
+                        now: int) -> None:
+        """A buffer/latch slot at (node, in_port, vc) was freed."""
+        if in_port == LOCAL:
+            self.nis[node].to_router.credit[vc].restore()
+            return
+        upstream = self.mesh.neighbor(node, in_port)
+        link = self.links_out[upstream][OPPOSITE[in_port]]
+        link.credits.send(vc, now)
+
+    def release_upstream_owner(self, node: int, in_port: int,
+                               vc: int) -> None:
+        """The tail left (node, in_port, vc): the upstream hop may
+        re-allocate its VC there."""
+        if in_port == LOCAL:
+            self.nis[node].to_router.vc_owner[vc] = None
+            return
+        upstream = self.mesh.neighbor(node, in_port)
+        self.routers[upstream].out_ports[OPPOSITE[in_port]].vc_owner[vc] = None
+
+    def sink_flit(self, node: int, flit: Flit, now: int, *,
+                  via_bypass: bool) -> None:
+        self._last_progress = now
+        self._outstanding -= 1
+        self.stats.on_flit_ejected()
+        if flit.is_tail:
+            flit.packet.ejected_cycle = now
+            self.stats.on_packet_ejected(flit.packet)
+
+    def wake_request(self, node: int, out_port: int) -> None:
+        """Conventional PG: a stalled SA request (or an early-wakeup RC
+        result) asserts WU toward the gated neighbor."""
+        nbr = self.mesh.neighbor(node, out_port)
+        if nbr is not None:
+            self._wu_now.add(nbr)
+
+    def note_ni_vc_request(self, node: int, attempted: int = 1,
+                           stalled: int = 0) -> None:
+        ctrl = self.controllers[node]
+        if isinstance(ctrl, NoRDController):
+            ctrl.note_vc_request(attempted, stalled)
+
+    def finish_lingering(self, node: int, vc: int) -> None:
+        """A mid-bypass packet finished after wakeup: restore the ring
+        predecessor's credits for this VC to the full buffer depth."""
+        ni = self.nis[node]
+        ni.lingering.discard(vc)
+        if self.router_on(node):
+            self._restore_pred_credit(node, vc)
+        # When the router has gated off again mid-linger, the predecessor's
+        # credit stays clamped at the single latch slot - correct for OFF.
+
+    # ------------------------------------------------------------------
+    # simulation loop
+    # ------------------------------------------------------------------
+    def inject_packet(self, src: int, dst: int, length: int,
+                      klass: int = 0) -> Packet:
+        pkt = Packet(src, dst, length, self.now, klass)
+        self.nis[src].enqueue_packet(pkt)
+        self._outstanding += length
+        self.stats.on_packet_created(pkt)
+        return pkt
+
+    def step(self) -> None:
+        """Advance the network by one cycle."""
+        self.now += 1
+        now = self.now
+        # Phase 2: credit delivery.
+        for row in self.links_out:
+            for link in row:
+                if link is None or link.credits.empty:
+                    continue
+                out = self.routers[link.src].out_ports[link.src_port]
+                for vc in link.credits.receive(now):
+                    out.credit[vc].restore()
+        # Phase 3: NIs.
+        for router in self.routers:
+            router.ports_used_by_ni.clear()
+        for ni in self.nis:
+            ni.process(now)
+        # Phase 4: router pipelines (only powered-on routers).  The
+        # canonical router evaluates SA -> VA -> RC so a flit advances one
+        # stage per cycle; the speculative 2-stage pipeline (Section 6.8)
+        # ripples RC -> VA -> SA within a cycle, succeeding in one router
+        # cycle when arbitration does not push back.
+        speculative = self.cfg.noc.speculative
+        for node, router in enumerate(self.routers):
+            if self.router_on(node):
+                if speculative:
+                    router.stage_rc(now)
+                    router.stage_va(now)
+                    router.stage_sa(now)
+                else:
+                    router.stage_sa(now)
+                    router.stage_va(now)
+                    router.stage_rc(now)
+        # Phase 5: flit delivery.
+        self._deliver_flits(now)
+        # Phase 6: power gating.
+        if self.cfg.design != Design.NO_PG:
+            self._power_gate_phase()
+        else:
+            for ctrl in self.controllers:
+                ctrl.cycles_on += 1
+        # Phase 7: statistics.
+        self._stats_phase()
+        self._check_deadlock(now)
+
+    def _deliver_flits(self, now: int) -> None:
+        design = self.cfg.design
+        for row in self.links_out:
+            for link in row:
+                if link is None or link.flits.empty:
+                    continue
+                for flit, vc in link.flits.receive(now):
+                    self._deliver(link.dst, link.dst_port, vc, flit)
+        for node, line in enumerate(self.inject_lines):
+            if line.empty:
+                continue
+            for flit, vc in line.receive(now):
+                if not self.router_on(node):
+                    raise RuntimeError(
+                        f"injected flit delivered to off router {node}")
+                self.routers[node].deliver(LOCAL, vc, flit)
+        for node, line in enumerate(self.eject_lines):
+            if line.empty:
+                continue
+            for flit, vc in line.receive(now):
+                self.nis[node].n_ejected_flits += 1
+                if flit.is_tail:
+                    self.routers[node].out_ports[LOCAL].vc_owner[vc] = None
+                self.sink_flit(node, flit, now, via_bypass=False)
+
+    def _deliver(self, node: int, in_port: int, vc: int, flit: Flit) -> None:
+        ni = self.nis[node]
+        if (self.ring is not None and in_port == self.ring.inport[node]
+                and (not self.router_on(node) or vc in ni.lingering)):
+            ni.latch_write(vc, flit)
+            return
+        if not self.router_on(node):
+            raise RuntimeError(
+                f"flit delivered to off router {node} port {in_port}: "
+                "power-gating handshake violated")
+        self.routers[node].deliver(in_port, vc, flit)
+
+    # ------------------------------------------------------------------
+    # power-gating phase
+    # ------------------------------------------------------------------
+    def _power_gate_phase(self) -> None:
+        design = self.cfg.design
+        events: List[Tuple[int, str]] = []
+        for node, ctrl in enumerate(self.controllers):
+            inputs = self._gate_inputs(node, design)
+            event = ctrl.step(inputs)
+            if event is not None:
+                events.append((node, event))
+            if isinstance(ctrl, NoRDController):
+                ctrl.end_cycle()
+        for node, event in events:
+            if event == Transition.GATED_OFF:
+                if design == Design.NORD:
+                    self._on_nord_gate_off(node)
+                else:
+                    self._on_conv_gate_off(node)
+            elif event == Transition.WOKE:
+                if design == Design.NORD:
+                    self._on_nord_wake(node)
+                else:
+                    self._on_conv_wake(node)
+        self._wu_now.clear()
+
+    def _gate_inputs(self, node: int, design: str) -> GateInputs:
+        ctrl = self.controllers[node]
+        if ctrl.state == PowerState.WAKING:
+            return GateInputs(empty=False, incoming=False, wakeup=False)
+        if ctrl.state == PowerState.OFF:
+            if design == Design.NORD:
+                wu = ctrl.wakeup_wanted
+            else:
+                wu = node in self._wu_now or self.nis[node].inject_pending
+            return GateInputs(empty=True, incoming=False, wakeup=wu)
+        # ON: evaluate the gating conditions.
+        empty = self.routers[node].empty
+        if not empty:
+            return GateInputs(empty=False, incoming=False, wakeup=False)
+        incoming = self._incoming_condition(node, design)
+        if design == Design.NORD:
+            wu = ctrl.wakeup_wanted
+        else:
+            wu = self.nis[node].inject_pending or node in self._wu_now
+        return GateInputs(empty=True, incoming=incoming, wakeup=wu)
+
+    def _incoming_condition(self, node: int, design: str) -> bool:
+        """The IC condition: flits (or credits) are in flight toward this
+        router, or an upstream packet is committed to stream through it."""
+        if not self.inject_lines[node].empty:
+            return True
+        if not self.eject_lines[node].empty:
+            return True
+        for port, nbr in self.mesh.neighbors(node):
+            link_in = self.links_out[nbr][OPPOSITE[port]]
+            if not link_in.flits.empty or not link_in.credits.empty:
+                return True
+        if design == Design.NORD:
+            ni = self.nis[node]
+            # A packet the NI started injecting through the router must
+            # finish before the router may gate (its LOCAL VC is held, so
+            # this is usually covered by ``empty``; the check closes the
+            # window before the first flit arrives).
+            if ni.inj_path == "router" and ni.inj_sent > 0:
+                return True
+            return False
+        early = design == Design.CONV_PG_OPT
+        for port, nbr in self.mesh.neighbors(node):
+            if self.routers[nbr].has_commitment_to(OPPOSITE[port],
+                                                   early=early):
+                return True
+        return False
+
+    # -- conventional transitions ----------------------------------------
+    def _on_conv_gate_off(self, node: int) -> None:
+        for port, nbr in self.mesh.neighbors(node):
+            self.routers[nbr].out_ports[OPPOSITE[port]].gated = True
+
+    def _on_conv_wake(self, node: int) -> None:
+        for port, nbr in self.mesh.neighbors(node):
+            self.routers[nbr].out_ports[OPPOSITE[port]].gated = False
+
+    # -- NoRD transitions --------------------------------------------------
+    def _on_nord_gate_off(self, node: int) -> None:
+        ring = self.ring
+        ni = self.nis[node]
+        pred = ring.predecessor[node]
+        pred_port = ring.outport[pred]
+        for port, nbr in self.mesh.neighbors(node):
+            if nbr == pred and OPPOSITE[port] == pred_port:
+                # The ring predecessor keeps the port but sees only the
+                # single bypass-latch slot per VC (Section 4.3).
+                out = self.routers[pred].out_ports[pred_port]
+                for vc_id, counter in enumerate(out.credit):
+                    if vc_id in ni.lingering:
+                        continue  # already clamped
+                    if counter.credits != counter.max_credits:
+                        raise RuntimeError(
+                            "gating with unaccounted credits in flight")
+                    counter.set_limit(self.cfg.pg.bypass_depth)
+            else:
+                self.routers[nbr].out_ports[OPPOSITE[port]].gated = True
+                self.routers[nbr].reset_vcs_routed_to(OPPOSITE[port])
+        ni.reset_pending_router_allocation()
+
+    def _on_nord_wake(self, node: int) -> None:
+        ring = self.ring
+        ni = self.nis[node]
+        inport = ring.inport[node]
+        for vc in range(self.cfg.noc.vcs_per_port):
+            if vc in ni.bypass_alloc or vc in ni.eject_mid:
+                # Mid-packet (forwarding or ejecting): keep bypassing this
+                # VC until the tail passes (Section 4.3's hand-over).
+                ni.lingering.add(vc)
+                continue
+            while ni.latch[vc]:
+                # Write the latched flits into the input buffer; the bypass
+                # for this VC is then disabled (Section 4.3).
+                self.routers[node].deliver(inport, vc, ni.latch[vc].popleft())
+            ni.bypass_wait.pop(vc, None)
+            self._restore_pred_credit(node, vc)
+        for port, nbr in self.mesh.neighbors(node):
+            if not (nbr == ring.predecessor[node]
+                    and OPPOSITE[port] == ring.outport[nbr]):
+                self.routers[nbr].out_ports[OPPOSITE[port]].gated = False
+        ni.reset_pending_ring_allocation()
+
+    def _restore_pred_credit(self, node: int, vc: int) -> None:
+        """Recompute the ring predecessor's credit counter for ``vc`` from
+        ground truth after a bypass/normal hand-over."""
+        ring = self.ring
+        pred = ring.predecessor[node]
+        pred_port = ring.outport[pred]
+        counter = self.routers[pred].out_ports[pred_port].credit[vc]
+        depth = self.cfg.noc.buffer_depth
+        link = self.links_out[pred][pred_port]
+        in_flight = sum(1 for f, v in link.flits.peek_pending() if v == vc)
+        credits_in_flight = sum(1 for v in link.credits.peek_pending()
+                                if v == vc)
+        buffered = len(self.routers[node].in_ports[ring.inport[node]]
+                       .vcs[vc].fifo)
+        latched = len(self.nis[node].latch[vc])
+        counter.max_credits = depth
+        counter.credits = depth - in_flight - credits_in_flight - buffered - latched
+        if counter.credits < 0:
+            raise RuntimeError("negative credits after power transition")
+
+    # ------------------------------------------------------------------
+    # statistics / liveness
+    # ------------------------------------------------------------------
+    def _stats_phase(self) -> None:
+        if not self.stats.measuring:
+            return
+        for node, router in enumerate(self.routers):
+            self.stats.on_cycle_idle_state(node, router.empty)
+
+    def _check_deadlock(self, now: int) -> None:
+        if self._outstanding > 0 and now - self._last_progress > DEADLOCK_LIMIT:
+            raise RuntimeError(
+                f"no flit movement for {DEADLOCK_LIMIT} cycles at cycle "
+                f"{now} with {self._outstanding} flits outstanding "
+                f"(design={self.cfg.design}): possible deadlock")
+
+    @property
+    def outstanding_flits(self) -> int:
+        return self._outstanding
+
+    # ------------------------------------------------------------------
+    # high-level run driver
+    # ------------------------------------------------------------------
+    def run(self, traffic, *, warmup: Optional[int] = None,
+            measure: Optional[int] = None,
+            drain: Optional[int] = None) -> RunResult:
+        """Run warmup + measurement (+ drain) with the given traffic source.
+
+        ``traffic`` must provide ``arrivals(cycle) -> iterable of
+        (src, dst, length)`` tuples (see :mod:`repro.traffic.base`).
+        """
+        cfg = self.cfg
+        warmup = cfg.warmup_cycles if warmup is None else warmup
+        measure = cfg.measure_cycles if measure is None else measure
+        drain = cfg.drain_cycles if drain is None else drain
+        snapshot_start: Dict = {}
+        for _ in range(warmup):
+            self._inject_arrivals(traffic)
+            self.step()
+        self.stats.start_measurement(self.now)
+        snapshot_start = self._snapshot_counters()
+        for _ in range(measure):
+            self._inject_arrivals(traffic)
+            self.step()
+        snapshot_end = self._snapshot_counters()
+        self.stats.stop_measurement(self.now)
+        drained = 0
+        while self._outstanding > 0 and drained < drain:
+            self.step()
+            drained += 1
+        return self._build_result(measure, snapshot_start, snapshot_end)
+
+    def _inject_arrivals(self, traffic) -> None:
+        for src, dst, length in traffic.arrivals(self.now):
+            self.inject_packet(src, dst, length)
+
+    def _snapshot_counters(self) -> Dict:
+        snap: Dict = {"link_flits": self.n_link_flits, "routers": []}
+        for node in range(self.mesh.num_nodes):
+            r = self.routers[node]
+            ni = self.nis[node]
+            c = self.controllers[node]
+            snap["routers"].append((
+                c.cycles_on, c.cycles_off, c.cycles_waking, c.wakeups,
+                c.gate_offs, r.n_buffer_writes, r.n_buffer_reads,
+                r.n_xbar_traversals, r.n_va_grants, r.n_sa_grants,
+                ni.n_latch_writes, ni.n_bypass_forwards, ni.n_injected_flits,
+                ni.n_ejected_flits, ni.n_vc_requests,
+            ))
+        return snap
+
+    def _build_result(self, measure_cycles: int, start: Dict,
+                      end: Dict) -> RunResult:
+        s = self.stats
+        result = RunResult(
+            design=self.cfg.design,
+            cycles=measure_cycles,
+            num_nodes=self.mesh.num_nodes,
+            packets_created=s.packets_created,
+            packets_measured=s.packets_measured,
+            packets_ejected=s.packets_ejected,
+            total_latency=s.total_latency,
+            total_hops=s.total_hops,
+            total_misroutes=s.total_misroutes,
+            total_bypass_hops=s.total_bypass_hops,
+            total_wakeup_stalls=s.total_wakeup_stalls,
+            flits_ejected=s.flits_ejected,
+            link_flits=end["link_flits"] - start["link_flits"],
+            idle_periods=dict(s.idle_periods),
+        )
+        fields = ("cycles_on", "cycles_off", "cycles_waking", "wakeups",
+                  "gate_offs", "buffer_writes", "buffer_reads",
+                  "xbar_traversals", "va_grants", "sa_grants",
+                  "ni_latch_writes", "ni_bypass_forwards",
+                  "ni_injected_flits", "ni_ejected_flits", "ni_vc_requests")
+        for node in range(self.mesh.num_nodes):
+            deltas = [e - b for b, e in zip(start["routers"][node],
+                                            end["routers"][node])]
+            activity = RouterActivity(**dict(zip(fields, deltas)))
+            activity.idle_cycles = s.idle_cycles[node]
+            result.routers.append(activity)
+        return result

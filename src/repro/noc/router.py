@@ -1,0 +1,335 @@
+"""The canonical 4-stage wormhole router (Section 3.1).
+
+Pipeline: RC (route computation) -> VA (VC allocation) -> SA (switch
+allocation) -> ST (switch traversal), followed by LT (link traversal +
+buffer write).  Each stage takes one cycle; ST+LT are modelled together as
+a 2-cycle link delay after the SA grant, so a head flit needs 5 cycles per
+hop through a powered-on router.
+
+The router is orchestrated by :class:`repro.noc.network.Network`, which
+invokes the stages in reverse order (SA, VA, RC) each cycle so that a flit
+advances at most one stage per cycle.  All power-gating behaviour
+(PG/WU/IC handshakes, credit adjustments, pipeline restarts) is driven by
+the network, which has the global view a real design distributes across
+controllers.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Dict, List, Optional, Tuple
+
+from ..config import SimConfig
+from .arbiter import AllocatorPool, RoundRobinArbiter
+from .buffer import InputPort, OutputPort, VCState, VirtualChannel
+from .flit import Flit
+from .topology import LOCAL, NUM_PORTS, Mesh
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from .network import Network
+
+#: Cycles a head flit waits in VA before it also starts requesting escape
+#: VCs (Duato's protocol guarantees deadlock freedom because blocked
+#: packets can always fall back to the escape sub-network).
+ESCAPE_PATIENCE = 8
+
+#: Effectively infinite credit pool for the ejection (LOCAL) output port:
+#: the NI sinks ejected flits immediately.
+EJECT_DEPTH = 1 << 30
+
+
+class Router:
+    """One mesh router: 5 input ports x V VCs, separable VA/SA."""
+
+    def __init__(self, node: int, cfg: SimConfig, mesh: Mesh,
+                 network: "Network") -> None:
+        self.node = node
+        self.cfg = cfg
+        self.mesh = mesh
+        self.network = network
+        vcs = cfg.noc.vcs_per_port
+        depth = cfg.noc.buffer_depth
+        self.in_ports: List[InputPort] = [
+            InputPort(p, vcs, depth) for p in range(NUM_PORTS)
+        ]
+        self.out_ports: List[OutputPort] = [
+            OutputPort(p, vcs, EJECT_DEPTH if p == LOCAL else depth)
+            for p in range(NUM_PORTS)
+        ]
+        # VA: one round-robin arbiter per (output port, VC) resource.
+        self._va_pool = AllocatorPool(NUM_PORTS * vcs, NUM_PORTS * vcs)
+        # SA: input-first separable allocator.
+        self._sa_in_arb = [RoundRobinArbiter(vcs) for _ in range(NUM_PORTS)]
+        self._sa_out_arb = [RoundRobinArbiter(NUM_PORTS)
+                            for _ in range(NUM_PORTS)]
+        # --- event counters (consumed by the power model) ---
+        self.n_buffer_writes = 0
+        self.n_buffer_reads = 0
+        self.n_xbar_traversals = 0
+        self.n_va_grants = 0
+        self.n_sa_grants = 0
+        #: Output ports already used by NI bypass forwarding this cycle
+        #: (a lingering bypass VC shares the physical port with SA).
+        self.ports_used_by_ni: set = set()
+
+    # ------------------------------------------------------------------
+    # views used by routing functions
+    # ------------------------------------------------------------------
+    def port_usable(self, port: int) -> bool:
+        """NoRD usability: awake neighbor, or the neighbor's Bypass Inport."""
+        return self.network.port_usable(self.node, port)
+
+    def neighbor_awake(self, port: int) -> bool:
+        return self.network.neighbor_awake(self.node, port)
+
+    # ------------------------------------------------------------------
+    # datapath state
+    # ------------------------------------------------------------------
+    @property
+    def empty(self) -> bool:
+        """True when no packet holds any input VC (gating precondition)."""
+        for port in self.in_ports:
+            for vc in port.vcs:
+                if vc.state != VCState.IDLE or vc.fifo:
+                    return False
+        return True
+
+    def occupancy(self) -> int:
+        return sum(port.occupancy() for port in self.in_ports)
+
+    def deliver(self, in_port: int, vc_id: int, flit: Flit) -> None:
+        """LT completion: write an arriving flit into its input VC."""
+        vc = self.in_ports[in_port].vcs[vc_id]
+        vc.push(flit)
+        self.n_buffer_writes += 1
+        if vc.state == VCState.IDLE:
+            if not flit.is_head:
+                raise RuntimeError(
+                    f"router {self.node}: body flit arrived on idle VC "
+                    f"({in_port},{vc_id}): wormhole ordering violated")
+            vc.state = VCState.ROUTING
+
+    # ------------------------------------------------------------------
+    # pipeline stages (invoked by the network each cycle, SA -> VA -> RC)
+    # ------------------------------------------------------------------
+    def stage_sa(self, now: int) -> None:
+        """Switch allocation + switch traversal launch."""
+        # Input-first: each input port nominates one eligible VC.
+        nominees: List[Optional[VirtualChannel]] = [None] * NUM_PORTS
+        for p, port in enumerate(self.in_ports):
+            eligible = []
+            for vc in port.vcs:
+                if vc.state != VCState.ACTIVE or not vc.fifo:
+                    continue
+                route = vc.route_port
+                if route == LOCAL:
+                    eligible.append(vc.vc_id)
+                    continue
+                out = self.out_ports[route]
+                if out.gated:
+                    # Conventional PG: the port is unavailable in SA; the
+                    # stalled request asserts WU toward the sleeping router.
+                    vc.stalled_for_wakeup = True
+                    pkt = vc.fifo[0].packet
+                    pkt.wakeup_stall_cycles += 1
+                    self.network.wake_request(self.node, route)
+                    continue
+                if route in self.ports_used_by_ni:
+                    continue  # physical port taken by lingering bypass
+                if not out.credit[vc.out_vc].available:
+                    continue
+                vc.stalled_for_wakeup = False
+                eligible.append(vc.vc_id)
+            choice = self._sa_in_arb[p].grant_from(eligible)
+            if choice is not None:
+                nominees[p] = port.vcs[choice]
+        # Output arbitration among nominated input ports.
+        by_output: List[List[int]] = [[] for _ in range(NUM_PORTS)]
+        for p, vc in enumerate(nominees):
+            if vc is not None:
+                by_output[vc.route_port].append(p)
+        for out_port in range(NUM_PORTS):
+            reqs = by_output[out_port]
+            if not reqs:
+                continue
+            winner_port = self._sa_out_arb[out_port].grant_from(reqs)
+            vc = nominees[winner_port]
+            self._traverse(vc, winner_port, now)
+
+    def _traverse(self, vc: VirtualChannel, in_port: int, now: int) -> None:
+        """Pop the flit, cross the switch, and launch link traversal."""
+        flit = vc.pop()
+        self.n_buffer_reads += 1
+        self.n_sa_grants += 1
+        self.n_xbar_traversals += 1
+        out_port = vc.route_port
+        out_vc = vc.out_vc
+        if out_port != LOCAL:
+            self.out_ports[out_port].credit[out_vc].consume()
+        vc.flits_sent += 1
+        # Return a credit for the freed buffer slot to the upstream hop.
+        self.network.credit_upstream(self.node, in_port, vc.vc_id, now)
+        self.network.send_flit(self.node, out_port, flit, out_vc, now)
+        if flit.is_tail:
+            # The packet has fully left this router: free the input VC and
+            # tell the upstream hop its VC here is reusable.
+            self.network.release_upstream_owner(self.node, in_port, vc.vc_id)
+            if vc.fifo:
+                raise RuntimeError("flits behind a tail in an allocated VC")
+            vc.reset_route()
+            vc.state = VCState.IDLE
+
+    def stage_va(self, now: int) -> None:
+        """VC allocation for VCs that completed route computation."""
+        vcs_per_port = self.cfg.noc.vcs_per_port
+        escape_vcs = self.cfg.escape_vcs
+        requests: List[List[int]] = [[] for _ in range(NUM_PORTS * vcs_per_port)]
+        # candidate preference per requester: list of (resource, is_escape, port)
+        prefs: Dict[int, List[Tuple[int, bool, int]]] = {}
+        waiting: Dict[int, VirtualChannel] = {}
+        for p, port in enumerate(self.in_ports):
+            for vc in port.vcs:
+                if vc.state != VCState.WAITING_VA:
+                    continue
+                rid = p * vcs_per_port + vc.vc_id
+                cands = self._va_candidates(vc, escape_vcs, vcs_per_port)
+                if not cands:
+                    vc.va_wait += 1
+                    continue
+                waiting[rid] = vc
+                prefs[rid] = cands
+                for res, _, _ in cands:
+                    requests[res].append(rid)
+        if not waiting:
+            return
+        grants = self._va_pool.allocate(requests)
+        # resource -> winner; a requester may win several resources and
+        # takes its most-preferred one, releasing the rest this cycle.
+        won: Dict[int, List[int]] = {}
+        for res, rid in enumerate(grants):
+            if rid is not None:
+                won.setdefault(rid, []).append(res)
+        for rid, resources in won.items():
+            vc = waiting[rid]
+            for res, is_escape, port in prefs[rid]:
+                if res in resources:
+                    self._commit_va(vc, res, is_escape, port)
+                    break
+        for rid, vc in waiting.items():
+            if vc.state == VCState.WAITING_VA:
+                vc.va_wait += 1
+
+    def _va_candidates(self, vc: VirtualChannel, escape_vcs: int,
+                       vcs_per_port: int) -> List[Tuple[int, bool, int]]:
+        """Build the (resource, is_escape, port) request list for one VC."""
+        pkt = vc.fifo[0].packet
+        cands: List[Tuple[int, bool, int]] = []
+        use_escape_only = pkt.on_escape or vc.force_escape
+        if not use_escape_only:
+            for port in vc.adaptive_ports:
+                out = self.out_ports[port]
+                lo = 0 if port == LOCAL else escape_vcs
+                for v in range(lo, vcs_per_port):
+                    if out.vc_owner[v] is None:
+                        cands.append((port * vcs_per_port + v, False, port))
+        if use_escape_only or vc.va_wait >= ESCAPE_PATIENCE:
+            port = vc.escape_port
+            if port is not None:
+                if port == LOCAL:
+                    for v in range(vcs_per_port):
+                        if self.out_ports[port].vc_owner[v] is None:
+                            cands.append((port * vcs_per_port + v, True, port))
+                            break
+                else:
+                    ev = self.network.routing.escape_vc_for_hop(self.node, pkt)
+                    if self.out_ports[port].vc_owner[ev] is None:
+                        cands.append((port * vcs_per_port + ev, True, port))
+        return cands
+
+    def _commit_va(self, vc: VirtualChannel, resource: int, is_escape: bool,
+                   port: int) -> None:
+        vcs_per_port = self.cfg.noc.vcs_per_port
+        out_vc = resource % vcs_per_port
+        pkt = vc.fifo[0].packet
+        vc.route_port = port
+        vc.out_vc = out_vc
+        vc.state = VCState.ACTIVE
+        vc.va_wait = 0
+        vc.flits_sent = 0
+        self.out_ports[port].vc_owner[out_vc] = pkt.pid
+        self.n_va_grants += 1
+        if port != LOCAL:
+            routing = self.network.routing
+            if is_escape and not pkt.on_escape:
+                pkt.on_escape = True
+            if is_escape:
+                routing.note_escape_hop(self.node, pkt)
+            elif not routing.is_minimal(self.node, port, pkt.dst):
+                pkt.misroutes += 1
+
+    def stage_rc(self, now: int) -> None:
+        """Route computation for newly arrived head flits."""
+        routing = self.network.routing
+        for port in self.in_ports:
+            for vc in port.vcs:
+                if vc.state != VCState.ROUTING:
+                    continue
+                head = vc.fifo[0]
+                if not head.is_head:
+                    raise RuntimeError("non-head flit at front of routing VC")
+                pkt = head.packet
+                choice = routing.route(self, pkt)
+                vc.adaptive_ports = list(choice.adaptive_ports)
+                vc.escape_port = choice.escape_port
+                vc.force_escape = choice.force_escape
+                vc.state = VCState.WAITING_VA
+                vc.va_wait = 0
+                if self.network.early_wakeup:
+                    self._early_wakeup(vc, pkt)
+
+    def _early_wakeup(self, vc: VirtualChannel, pkt) -> None:
+        """Conv_PG_OPT: assert WU as soon as the output port is computed."""
+        if pkt.on_escape or vc.force_escape:
+            targets = [vc.escape_port]
+        else:
+            targets = vc.adaptive_ports[:1] or [vc.escape_port]
+        for port in targets:
+            if port is not None and port != LOCAL and self.out_ports[port].gated:
+                self.network.wake_request(self.node, port)
+
+    # ------------------------------------------------------------------
+    # power-gating support
+    # ------------------------------------------------------------------
+    def reset_vcs_routed_to(self, out_port: int) -> None:
+        """Restart from RC every packet headed to ``out_port`` that has not
+        yet sent any flit (Section 4.3: such flits are still entirely in the
+        input channel, so the pipeline restart is safe)."""
+        for port in self.in_ports:
+            for vc in port.vcs:
+                if vc.state == VCState.WAITING_VA:
+                    if (out_port in vc.adaptive_ports
+                            or vc.escape_port == out_port):
+                        vc.reset_route()
+                elif (vc.state == VCState.ACTIVE and vc.route_port == out_port
+                        and vc.flits_sent == 0):
+                    self.out_ports[out_port].vc_owner[vc.out_vc] = None
+                    vc.reset_route()
+
+    def has_commitment_to(self, out_port: int, *, early: bool) -> bool:
+        """Whether any packet here is committed toward ``out_port``.
+
+        ``early=False``: only SA-stage requests count (Conv_PG's WU).
+        ``early=True``: RC-stage knowledge counts too (Conv_PG_OPT).
+        """
+        for port in self.in_ports:
+            for vc in port.vcs:
+                if vc.state == VCState.ACTIVE and vc.route_port == out_port:
+                    if vc.fifo or vc.flits_sent > 0:
+                        return True
+                    if early:
+                        return True
+                elif early and vc.state == VCState.WAITING_VA:
+                    first = (vc.adaptive_ports[0] if vc.adaptive_ports
+                             else vc.escape_port)
+                    if first == out_port:
+                        return True
+        return False

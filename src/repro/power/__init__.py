@@ -1,0 +1,15 @@
+"""Orion-like power and area models calibrated to the paper's Figure 1."""
+
+from .area import AreaReport, nord_area_overhead, router_area
+from .model import (EnergyReport, PowerModel, router_power_decomposition,
+                    static_power_share)
+from .technology import (DEFAULT_TECH, TECH_32NM, TECH_45NM, TECH_65NM,
+                         TechNode, get_tech)
+
+__all__ = [
+    "AreaReport", "nord_area_overhead", "router_area",
+    "EnergyReport", "PowerModel", "router_power_decomposition",
+    "static_power_share",
+    "TechNode", "get_tech", "DEFAULT_TECH",
+    "TECH_32NM", "TECH_45NM", "TECH_65NM",
+]

@@ -1,0 +1,90 @@
+"""Router area model (Section 6.8).
+
+A parametric area model in the style of Orion 2.0: storage area per bit,
+crossbar area quadratic in port count and linear in flit width, allocator
+area per arbiter, plus fixed control overhead.  It exists to reproduce the
+paper's area claims:
+
+* a well-designed power-gating block adds ~4-10% (sleep transistors and
+  sleep-signal distribution);
+* NoRD's bypass (latches, muxes/demuxes, NI forwarding control) adds only
+  ~3.1% over Conv_PG_OPT, versus ~15.9% for per-component power-gating
+  ([25]'s 35 power domains).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..config import Design, SimConfig
+
+#: Area of one bit of flip-flop/SRAM storage (arbitrary units; only ratios
+#: matter).
+BIT_AREA = 1.0
+#: Crossbar area per (port^2 * bit).
+XBAR_AREA_PER_PORT2_BIT = 0.018
+#: Area of one round-robin arbiter input (per requester).
+ARBITER_AREA_PER_INPUT = 12.0
+#: Fixed control/clocking area per router.
+CONTROL_AREA = 900.0
+#: Power-gating additions (sleep switches + signal distribution) as a
+#: fraction of the gated block's area (Section 6.8: 4~10%).
+PG_SWITCH_FRACTION = 0.07
+#: Area of one 2:1 multiplexer/demultiplexer per bit.
+MUX_AREA_PER_BIT = 0.25
+
+
+@dataclass(frozen=True)
+class AreaReport:
+    """Component areas of one router + NI (arbitrary units)."""
+
+    buffers: float
+    crossbar: float
+    allocators: float
+    control: float
+    pg_switches: float
+    bypass: float
+
+    @property
+    def total(self) -> float:
+        return (self.buffers + self.crossbar + self.allocators +
+                self.control + self.pg_switches + self.bypass)
+
+
+def router_area(cfg: SimConfig, design: str) -> AreaReport:
+    """Area of one router (+ NI additions) for a given design."""
+    noc = cfg.noc
+    ports = 5
+    bits = noc.link_bits
+    buffers = ports * noc.vcs_per_port * noc.buffer_depth * bits * BIT_AREA
+    crossbar = XBAR_AREA_PER_PORT2_BIT * ports * ports * bits
+    # VA: (P*V) arbiters of P*V inputs; SA: P in + P out arbiters of V/P.
+    va = ports * noc.vcs_per_port * ports * noc.vcs_per_port
+    sa = ports * noc.vcs_per_port + ports * ports
+    allocators = ARBITER_AREA_PER_INPUT * (va + sa) * 0.05
+    control = CONTROL_AREA
+    base = buffers + crossbar + allocators + control
+    pg = 0.0
+    bypass = 0.0
+    if design in Design.GATED:
+        pg = PG_SWITCH_FRACTION * base
+    if design == Design.NORD:
+        # New bypass storage: the NI latch and forwarding-stage register.
+        # The third flit of bypass buffering is the router's own output
+        # buffer (Figure 4(b)), which exists in the baseline already and
+        # therefore adds no area.
+        latch_bits = (cfg.pg.bypass_depth - 1) * bits
+        bypass += latch_bits * BIT_AREA
+        bypass += 4 * MUX_AREA_PER_BIT * bits  # demux/mux on eject/inject
+        bypass += 0.02 * CONTROL_AREA          # NI forwarding FSM
+        bypass += noc.vcs_per_port * ARBITER_AREA_PER_INPUT  # latch arb
+    return AreaReport(buffers=buffers, crossbar=crossbar,
+                      allocators=allocators, control=control,
+                      pg_switches=pg, bypass=bypass)
+
+
+def nord_area_overhead(cfg: SimConfig) -> float:
+    """NoRD's fractional area overhead vs. Conv_PG_OPT (Section 6.8)."""
+    nord = router_area(cfg, Design.NORD).total
+    conv = router_area(cfg, Design.CONV_PG_OPT).total
+    return nord / conv - 1.0

@@ -1,0 +1,11 @@
+"""Power-gating controllers for No_PG, Conv_PG, Conv_PG_OPT and NoRD."""
+
+from .controller import (GateInputs, NoPGController, PowerGateController,
+                         PowerState, Transition)
+from .conventional import ConvPGController, ConvPGOptController
+from .nord import NoRDController
+
+__all__ = [
+    "GateInputs", "PowerGateController", "NoPGController", "PowerState",
+    "Transition", "ConvPGController", "ConvPGOptController", "NoRDController",
+]

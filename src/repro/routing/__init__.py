@@ -1,0 +1,11 @@
+"""Routing algorithms: XY, minimal adaptive + XY escape, NoRD ring escape."""
+
+from .base import RouteChoice, RoutingFunction
+from .adaptive import AdaptiveXYEscape
+from .ring_escape import NoRDRouting
+from .xy import XYRouting, xy_port
+
+__all__ = [
+    "RouteChoice", "RoutingFunction", "AdaptiveXYEscape", "NoRDRouting",
+    "XYRouting", "xy_port",
+]

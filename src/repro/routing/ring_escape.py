@@ -1,0 +1,63 @@
+"""NoRD routing: minimal adaptive with Bypass-Ring escape (Section 4.2).
+
+At powered-on routers, packets on adaptive VCs use minimal adaptive routing
+restricted to *usable* ports: a port toward an awake router is always
+usable; a port toward a gated-off router is usable only if it is that
+router's Bypass Inport (i.e. this router is its ring predecessor).
+Misrouting occurs only when no minimal port is usable, in which case the
+packet must take the Bypass Outport, misrouted by (at most) one hop.  A
+packet that exceeds the misroute cap is forced onto escape VCs and then
+travels the unidirectional ring to its destination.
+
+Escape VCs use the dateline discipline: VC 0 before crossing the ring's
+dateline edge, VC 1 from the crossing hop onward, which leaves both escape
+VCs cycle-free in the extended channel dependence graph.
+"""
+
+from __future__ import annotations
+
+from ..core.ring import BypassRing
+from ..noc.flit import Packet
+from ..noc.topology import LOCAL, Mesh
+from .base import RouteChoice, RouterView, RoutingFunction
+
+
+class NoRDRouting(RoutingFunction):
+    """Minimal adaptive + ring escape, per Section 4.2."""
+
+    def __init__(self, mesh: Mesh, ring: BypassRing, misroute_cap: int) -> None:
+        super().__init__(mesh, misroute_cap)
+        self.ring = ring
+
+    def route(self, router: RouterView, packet: Packet) -> RouteChoice:
+        node = router.node
+        if node == packet.dst:
+            return RouteChoice(adaptive_ports=[LOCAL], escape_port=LOCAL)
+        ring_port = self.ring.outport[node]
+        minimal = self.mesh.minimal_ports(node, packet.dst)
+        usable = [p for p in minimal if router.port_usable(p)]
+        if usable:
+            adaptive = usable
+        else:
+            # All minimal downstream routers are off (and the ring port is
+            # non-minimal, otherwise it would be in ``usable``): detour one
+            # hop along the ring.
+            adaptive = [ring_port]
+        force = self.must_escape(packet)
+        return RouteChoice(
+            adaptive_ports=adaptive,
+            escape_port=ring_port,
+            force_escape=force,
+        )
+
+    def escape_vc_for_hop(self, node: int, packet: Packet) -> int:
+        """Dateline rule: VC 1 on and after the dateline-crossing hop."""
+        if packet.escape_level:
+            return 1
+        if self.ring.crosses_dateline(node):
+            return 1
+        return 0
+
+    def note_escape_hop(self, node: int, packet: Packet) -> None:
+        if self.ring.crosses_dateline(node):
+            packet.escape_level = 1

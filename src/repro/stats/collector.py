@@ -1,0 +1,191 @@
+"""Run statistics: packet latency, idle periods, event counters.
+
+The collector observes the network during the measurement window and
+produces a :class:`RunResult` that the experiments and the power model
+consume.  Energy itself is *not* computed here - the collector only counts
+events (buffer accesses, crossbar traversals, link flits, wakeups, cycles
+per power state); :mod:`repro.power.energy` turns counts into joules.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Dict, List, Optional
+
+if TYPE_CHECKING:  # pragma: no cover - avoids a package import cycle
+    from ..noc.flit import Packet
+
+
+@dataclass
+class RouterActivity:
+    """Per-router counters over the measurement window."""
+
+    cycles_on: int = 0
+    cycles_off: int = 0
+    cycles_waking: int = 0
+    wakeups: int = 0
+    gate_offs: int = 0
+    buffer_writes: int = 0
+    buffer_reads: int = 0
+    xbar_traversals: int = 0
+    va_grants: int = 0
+    sa_grants: int = 0
+    ni_latch_writes: int = 0
+    ni_bypass_forwards: int = 0
+    ni_injected_flits: int = 0
+    ni_ejected_flits: int = 0
+    ni_vc_requests: int = 0
+    idle_cycles: int = 0
+
+    @property
+    def total_cycles(self) -> int:
+        return self.cycles_on + self.cycles_off + self.cycles_waking
+
+    @property
+    def off_fraction(self) -> float:
+        total = self.total_cycles
+        return self.cycles_off / total if total else 0.0
+
+
+@dataclass
+class RunResult:
+    """Everything a single simulation run produced."""
+
+    design: str
+    cycles: int
+    num_nodes: int
+    packets_created: int = 0
+    packets_measured: int = 0
+    packets_ejected: int = 0
+    total_latency: int = 0
+    total_hops: int = 0
+    total_misroutes: int = 0
+    total_bypass_hops: int = 0
+    total_wakeup_stalls: int = 0
+    flits_ejected: int = 0
+    link_flits: int = 0
+    routers: List[RouterActivity] = field(default_factory=list)
+    #: Histogram of idle-period lengths over all routers: length -> count.
+    idle_periods: Dict[int, int] = field(default_factory=dict)
+
+    # -- aggregate metrics -------------------------------------------------
+    @property
+    def avg_packet_latency(self) -> float:
+        if self.packets_measured == 0:
+            return float("nan")
+        return self.total_latency / self.packets_measured
+
+    @property
+    def avg_hops(self) -> float:
+        if self.packets_measured == 0:
+            return float("nan")
+        return self.total_hops / self.packets_measured
+
+    @property
+    def throughput_flits_per_node_cycle(self) -> float:
+        if self.cycles == 0 or self.num_nodes == 0:
+            return 0.0
+        return self.flits_ejected / (self.cycles * self.num_nodes)
+
+    @property
+    def total_wakeups(self) -> int:
+        return sum(r.wakeups for r in self.routers)
+
+    @property
+    def total_gate_offs(self) -> int:
+        return sum(r.gate_offs for r in self.routers)
+
+    @property
+    def avg_off_fraction(self) -> float:
+        if not self.routers:
+            return 0.0
+        return sum(r.off_fraction for r in self.routers) / len(self.routers)
+
+    @property
+    def avg_idle_fraction(self) -> float:
+        """Average fraction of cycles a router's datapath sat idle."""
+        if not self.routers or self.cycles == 0:
+            return 0.0
+        total = sum(r.idle_cycles for r in self.routers)
+        return total / (self.cycles * len(self.routers))
+
+    def idle_period_stats(self, bet: int) -> "IdlePeriodStats":
+        from .idle import IdlePeriodStats  # local import, no cycle
+
+        return IdlePeriodStats.from_histogram(self.idle_periods, bet)
+
+
+class StatsCollector:
+    """Attached to a network; accumulates measurement-window statistics."""
+
+    def __init__(self, design: str, num_nodes: int) -> None:
+        self.design = design
+        self.num_nodes = num_nodes
+        self.measuring = False
+        self.measure_start: Optional[int] = None
+        self.measure_end: Optional[int] = None
+        self.packets_created = 0
+        self.packets_ejected = 0
+        self.packets_measured = 0
+        self.total_latency = 0
+        self.total_hops = 0
+        self.total_misroutes = 0
+        self.total_bypass_hops = 0
+        self.total_wakeup_stalls = 0
+        self.flits_ejected = 0
+        # idle tracking
+        self._idle_run = [0] * num_nodes
+        self.idle_periods: Dict[int, int] = {}
+        self.idle_cycles = [0] * num_nodes
+
+    # -- window control ----------------------------------------------------
+    def start_measurement(self, now: int) -> None:
+        self.measuring = True
+        self.measure_start = now
+
+    def stop_measurement(self, now: int) -> None:
+        self.measuring = False
+        self.measure_end = now
+        for node in range(self.num_nodes):
+            self._flush_idle(node)
+
+    def in_window(self, cycle: Optional[int]) -> bool:
+        if cycle is None or self.measure_start is None:
+            return False
+        end = self.measure_end if self.measure_end is not None else float("inf")
+        return self.measure_start <= cycle < end
+
+    # -- event hooks ---------------------------------------------------------
+    def on_packet_created(self, packet: "Packet") -> None:
+        if self.measuring:
+            self.packets_created += 1
+
+    def on_flit_ejected(self) -> None:
+        if self.measuring:
+            self.flits_ejected += 1
+
+    def on_packet_ejected(self, packet: "Packet") -> None:
+        self.packets_ejected += 1
+        if self.in_window(packet.created_cycle):
+            self.packets_measured += 1
+            self.total_latency += packet.latency
+            self.total_hops += packet.hops
+            self.total_misroutes += packet.misroutes
+            self.total_bypass_hops += packet.bypass_hops
+            self.total_wakeup_stalls += packet.wakeup_stall_cycles
+
+    def on_cycle_idle_state(self, node: int, idle: bool) -> None:
+        """Track idle-period lengths (only within the measurement window)."""
+        if not self.measuring:
+            return
+        if idle:
+            self._idle_run[node] += 1
+            self.idle_cycles[node] += 1
+        else:
+            self._flush_idle(node)
+
+    def _flush_idle(self, node: int) -> None:
+        run = self._idle_run[node]
+        if run > 0:
+            self.idle_periods[run] = self.idle_periods.get(run, 0) + 1
+            self._idle_run[node] = 0

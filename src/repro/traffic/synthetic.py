@@ -1,0 +1,98 @@
+"""Synthetic traffic patterns (Section 5.2).
+
+The paper evaluates uniform random and bit-complement traffic across load
+rates expressed in flits/node/cycle.  Injection is a Bernoulli process per
+node: each cycle, node ``i`` generates a packet with probability
+``rate / mean_packet_length`` so that the average injected flit rate equals
+``rate``.  Packet lengths are bimodal (1 or 5 flits, equally likely).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Iterable, List
+
+from ..noc.topology import Mesh
+from .base import Arrival, TrafficGenerator
+
+
+class SyntheticTraffic(TrafficGenerator):
+    """Bernoulli injection with a configurable destination pattern."""
+
+    def __init__(self, num_nodes: int, rate_flits_per_node_cycle: float,
+                 pattern: Callable[[int], int], seed: int = 1) -> None:
+        super().__init__(num_nodes, seed)
+        if rate_flits_per_node_cycle < 0:
+            raise ValueError("injection rate must be non-negative")
+        self.rate = rate_flits_per_node_cycle
+        self.pattern = pattern
+        self._packet_prob = rate_flits_per_node_cycle / self.mean_packet_length
+
+    def arrivals(self, cycle: int) -> Iterable[Arrival]:
+        out: List[Arrival] = []
+        for src in range(self.num_nodes):
+            if self.rng.random() < self._packet_prob:
+                dst = self.pattern(src)
+                if dst != src:
+                    out.append((src, dst, self.packet_length()))
+        return out
+
+
+def uniform_pattern(num_nodes: int, rng) -> Callable[[int], int]:
+    """Uniform random destinations (excluding the source)."""
+
+    def pick(src: int) -> int:
+        dst = rng.randrange(num_nodes - 1)
+        return dst if dst < src else dst + 1
+
+    return pick
+
+
+def bit_complement_pattern(mesh: Mesh) -> Callable[[int], int]:
+    """Bit-complement: node (x, y) sends to (W-1-x, H-1-y) [Dally & Towles]."""
+
+    def pick(src: int) -> int:
+        x, y = mesh.xy(src)
+        return mesh.node(mesh.width - 1 - x, mesh.height - 1 - y)
+
+    return pick
+
+
+def transpose_pattern(mesh: Mesh) -> Callable[[int], int]:
+    """Transpose: node (x, y) sends to (y, x); needs a square mesh."""
+    if mesh.width != mesh.height:
+        raise ValueError("transpose needs a square mesh")
+
+    def pick(src: int) -> int:
+        x, y = mesh.xy(src)
+        return mesh.node(y, x)
+
+    return pick
+
+
+def hotspot_pattern(num_nodes: int, hotspots: List[int], fraction: float,
+                    rng) -> Callable[[int], int]:
+    """With probability ``fraction`` send to a random hotspot node,
+    otherwise uniform random."""
+    if not 0.0 <= fraction <= 1.0:
+        raise ValueError("hotspot fraction must be in [0, 1]")
+    uniform = uniform_pattern(num_nodes, rng)
+
+    def pick(src: int) -> int:
+        if hotspots and rng.random() < fraction:
+            return rng.choice(hotspots)
+        return uniform(src)
+
+    return pick
+
+
+def uniform_random(mesh: Mesh, rate: float, seed: int = 1) -> SyntheticTraffic:
+    """Uniform-random traffic at ``rate`` flits/node/cycle."""
+    gen = SyntheticTraffic(mesh.num_nodes, rate, lambda s: s, seed)
+    gen.pattern = uniform_pattern(mesh.num_nodes, gen.rng)
+    return gen
+
+
+def bit_complement(mesh: Mesh, rate: float, seed: int = 1) -> SyntheticTraffic:
+    """Bit-complement traffic at ``rate`` flits/node/cycle."""
+    return SyntheticTraffic(mesh.num_nodes, rate,
+                            bit_complement_pattern(mesh), seed)

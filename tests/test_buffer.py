@@ -1,0 +1,133 @@
+"""VC buffers, input/output ports and credit counters."""
+
+import pytest
+
+from repro.noc.buffer import (CreditCounter, InputPort, OutputPort, VCState,
+                              VirtualChannel)
+from repro.noc.flit import Packet
+
+
+def _flits(n=1, length=None):
+    return Packet(0, 1, length or n, 0).make_flits()
+
+
+class TestVirtualChannel:
+    def test_starts_idle_and_empty(self):
+        vc = VirtualChannel(0, 5)
+        assert vc.state == VCState.IDLE
+        assert vc.empty and not vc.full
+        assert vc.front() is None
+
+    def test_push_pop_fifo_order(self):
+        vc = VirtualChannel(0, 5)
+        flits = _flits(3)
+        for f in flits:
+            vc.push(f)
+        assert [vc.pop() for _ in range(3)] == flits
+
+    def test_overflow_raises(self):
+        vc = VirtualChannel(0, 2)
+        vc.push(_flits()[0])
+        vc.push(_flits()[0])
+        assert vc.full
+        with pytest.raises(OverflowError, match="credit protocol"):
+            vc.push(_flits()[0])
+
+    def test_reset_route_with_buffered_head_returns_to_routing(self):
+        vc = VirtualChannel(0, 5)
+        vc.push(_flits()[0])
+        vc.state = VCState.ACTIVE
+        vc.route_port = 2
+        vc.out_vc = 1
+        vc.flits_sent = 0
+        vc.reset_route()
+        assert vc.state == VCState.ROUTING
+        assert vc.route_port is None
+        assert vc.out_vc is None
+        assert vc.va_wait == 0
+
+    def test_reset_route_empty_returns_to_idle(self):
+        vc = VirtualChannel(0, 5)
+        vc.state = VCState.WAITING_VA
+        vc.reset_route()
+        assert vc.state == VCState.IDLE
+
+
+class TestInputPort:
+    def test_has_requested_vcs(self):
+        port = InputPort(0, 4, 5)
+        assert len(port.vcs) == 4
+        assert port.empty
+
+    def test_occupancy_counts_all_vcs(self):
+        port = InputPort(0, 2, 5)
+        port.vcs[0].push(_flits()[0])
+        port.vcs[1].push(_flits()[0])
+        port.vcs[1].push(_flits()[0])
+        assert port.occupancy() == 3
+        assert not port.empty
+
+
+class TestCreditCounter:
+    def test_starts_full(self):
+        c = CreditCounter(5)
+        assert c.credits == 5 and c.available
+
+    def test_consume_restore_cycle(self):
+        c = CreditCounter(2)
+        c.consume()
+        c.consume()
+        assert not c.available
+        c.restore()
+        assert c.credits == 1
+
+    def test_underflow_raises(self):
+        c = CreditCounter(1)
+        c.consume()
+        with pytest.raises(RuntimeError, match="underflow"):
+            c.consume()
+
+    def test_overflow_raises(self):
+        c = CreditCounter(1)
+        with pytest.raises(RuntimeError, match="overflow"):
+            c.restore()
+
+    def test_set_limit_clamps(self):
+        """NoRD: the ring predecessor sees only the bypass-latch slots."""
+        c = CreditCounter(5)
+        c.set_limit(2)
+        assert c.max_credits == 2
+        assert c.credits == 2
+
+    def test_set_limit_preserves_lower_count(self):
+        c = CreditCounter(5)
+        for _ in range(4):
+            c.consume()
+        c.set_limit(2)
+        assert c.credits == 1
+
+
+class TestOutputPort:
+    def test_free_vcs(self):
+        out = OutputPort(0, 4, 5)
+        assert out.free_vcs(range(4)) == [0, 1, 2, 3]
+        out.vc_owner[1] = 77
+        assert out.free_vcs(range(4)) == [0, 2, 3]
+        assert out.free_vcs(range(2, 4)) == [2, 3]
+
+    def test_idle_tracks_ownership(self):
+        out = OutputPort(0, 2, 5)
+        assert out.idle()
+        out.vc_owner[0] = 1
+        assert not out.idle()
+
+    def test_reset_credits_full(self):
+        out = OutputPort(0, 2, 5)
+        out.credit[0].set_limit(1)
+        out.credit[1].consume()
+        out.reset_credits_full()
+        for c in out.credit:
+            assert c.credits == 5 and c.max_credits == 5
+
+    def test_gated_flag_default_false(self):
+        assert not OutputPort(0, 2, 5).gated

@@ -1,0 +1,55 @@
+"""Command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_run_all_defaults(self):
+        args = build_parser().parse_args(["run-all"])
+        assert args.scale == "bench"
+        assert args.seed == 1
+
+    def test_experiment_subcommands_exist(self):
+        for name in ("fig1", "fig8", "fig14", "area", "table1"):
+            args = build_parser().parse_args([name, "--scale", "smoke"])
+            assert args.command == name
+
+    def test_simulate_options(self):
+        args = build_parser().parse_args(
+            ["simulate", "--design", "NoRD", "--traffic", "bitcomp",
+             "--rate", "0.25", "--width", "8", "--height", "8"])
+        assert args.design == "NoRD"
+        assert args.rate == 0.25
+
+    def test_rejects_bad_design(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["simulate", "--design", "MagicPG"])
+
+
+class TestMain:
+    def test_list(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        assert "fig8" in out and "fig15" in out
+
+    def test_fast_experiment(self, capsys):
+        assert main(["area"]) == 0
+        assert "3.0%" in capsys.readouterr().out
+
+    def test_simulate_smoke(self, capsys):
+        assert main(["simulate", "--design", "NoRD", "--traffic", "uniform",
+                     "--rate", "0.05", "--scale", "smoke"]) == 0
+        out = capsys.readouterr().out
+        assert "avg packet latency" in out
+        assert "router wakeups" in out
+
+    def test_simulate_parsec_benchmark(self, capsys):
+        assert main(["simulate", "--design", "Conv_PG",
+                     "--traffic", "swaptions", "--scale", "smoke"]) == 0
+        assert "Conv_PG" in capsys.readouterr().out

@@ -1,0 +1,110 @@
+"""Configuration defaults (Table 1) and validation."""
+
+import dataclasses
+
+import pytest
+
+from repro.config import (Design, NoCConfig, PowerGateConfig, RoutingConfig,
+                          SimConfig, small_config)
+
+
+class TestDesign:
+    def test_all_contains_four_designs(self):
+        assert len(Design.ALL) == 4
+        assert Design.NO_PG in Design.ALL
+        assert Design.NORD in Design.ALL
+
+    def test_gated_excludes_no_pg(self):
+        assert Design.NO_PG not in Design.GATED
+        assert set(Design.GATED) == {Design.CONV_PG, Design.CONV_PG_OPT,
+                                     Design.NORD}
+
+
+class TestNoCConfigTable1:
+    """Defaults must match the paper's Table 1."""
+
+    def test_mesh_is_4x4(self):
+        noc = NoCConfig()
+        assert (noc.width, noc.height) == (4, 4)
+        assert noc.num_nodes == 16
+
+    def test_four_vcs_per_port(self):
+        assert NoCConfig().vcs_per_port == 4
+
+    def test_five_flit_buffers(self):
+        assert NoCConfig().buffer_depth == 5
+
+    def test_128_bit_links(self):
+        assert NoCConfig().link_bits == 128
+
+    def test_3ghz_router(self):
+        noc = NoCConfig()
+        assert noc.frequency_hz == pytest.approx(3.0e9)
+        assert noc.cycle_time_s == pytest.approx(1 / 3.0e9)
+
+    def test_four_stage_pipeline(self):
+        assert NoCConfig().pipeline_stages == 4
+
+    def test_node_xy_roundtrip(self):
+        noc = NoCConfig(width=5, height=3)
+        for node in range(noc.num_nodes):
+            x, y = noc.node_xy(node)
+            assert noc.xy_node(x, y) == node
+
+
+class TestPowerGateConfig:
+    def test_wakeup_latency_12_cycles(self):
+        """4ns at 3GHz (Section 5.1)."""
+        assert PowerGateConfig().wakeup_latency == 12
+
+    def test_breakeven_time_10_cycles(self):
+        assert PowerGateConfig().breakeven_time == 10
+
+    def test_asymmetric_thresholds(self):
+        pg = PowerGateConfig()
+        assert pg.perf_threshold == 1
+        assert pg.power_threshold == 3
+        assert pg.perf_threshold < pg.power_threshold
+
+    def test_wakeup_window_10_cycles(self):
+        assert PowerGateConfig().wakeup_window == 10
+
+
+class TestSimConfig:
+    def test_default_design_is_no_pg(self):
+        assert SimConfig().design == Design.NO_PG
+
+    def test_rejects_unknown_design(self):
+        with pytest.raises(ValueError, match="unknown design"):
+            SimConfig(design="TurboPG")
+
+    def test_rejects_too_few_vcs(self):
+        with pytest.raises(ValueError, match="at least 2 VCs"):
+            SimConfig(noc=NoCConfig(vcs_per_port=1))
+
+    def test_replace_returns_modified_copy(self):
+        cfg = SimConfig()
+        cfg2 = cfg.replace(seed=99)
+        assert cfg2.seed == 99
+        assert cfg.seed == 1
+        assert cfg2.noc == cfg.noc
+
+    def test_escape_vcs_per_design(self):
+        assert SimConfig(design=Design.NORD).escape_vcs == 2
+        assert SimConfig(design=Design.CONV_PG).escape_vcs == 1
+        assert SimConfig(design=Design.NO_PG).escape_vcs == 1
+
+    def test_adaptive_vcs_complement(self):
+        for design in Design.ALL:
+            cfg = SimConfig(design=design)
+            assert cfg.adaptive_vcs + cfg.escape_vcs == cfg.noc.vcs_per_port
+
+    def test_small_config_scales_down(self):
+        cfg = small_config(Design.NORD, warmup=100, measure=500)
+        assert cfg.design == Design.NORD
+        assert cfg.warmup_cycles == 100
+        assert cfg.measure_cycles == 500
+
+    def test_frozen(self):
+        with pytest.raises(dataclasses.FrozenInstanceError):
+            SimConfig().seed = 5

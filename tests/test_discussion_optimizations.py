@@ -1,0 +1,122 @@
+"""Section 6.8 optimizations: aggressive bypass and speculative pipeline."""
+
+import dataclasses
+
+import pytest
+
+from repro.config import Design, NoCConfig, SimConfig, small_config
+from repro.noc.network import Network
+from repro.traffic.base import ScriptedTraffic
+from repro.traffic.synthetic import uniform_random
+
+
+def all_off_nord(aggressive=False):
+    cfg = small_config(Design.NORD)
+    cfg = cfg.replace(pg=dataclasses.replace(cfg.pg,
+                                             aggressive_bypass=aggressive))
+    net = Network(cfg)
+    for ctrl in net.controllers:
+        ctrl.force_off = True
+    for _ in range(30):
+        net.step()
+    return net
+
+
+def ring_trip_latency(net, hops):
+    src = net.ring.order[0]
+    dst = net.ring.order[hops]
+    pkt = net.inject_packet(src, dst, 1)
+    for _ in range(150):
+        net.step()
+        if pkt.ejected_cycle is not None:
+            return pkt.latency
+    raise AssertionError("packet never arrived")
+
+
+class TestAggressiveBypass:
+    def test_saves_one_cycle_per_forwarded_hop(self):
+        """Section 6.8: 'bypassing the router in just one cycle'."""
+        normal = ring_trip_latency(all_off_nord(False), hops=4)
+        fast = ring_trip_latency(all_off_nord(True), hops=4)
+        # 3 intermediate forwards, each one cycle faster
+        assert normal - fast == 3
+
+    def test_conflict_falls_back_to_normal_path(self):
+        """With a local injection pending, the optimistic single-cycle
+        path is not taken ('in case of conflict, additional cycles are
+        needed')."""
+        net = all_off_nord(True)
+        mid = net.ring.order[2]
+        # pending injection at the intermediate node = permanent conflict
+        blocker = net.inject_packet(mid, net.ring.order[9], 5)
+        through = net.inject_packet(net.ring.order[0], net.ring.order[4], 1)
+        for _ in range(300):
+            net.step()
+            if (through.ejected_cycle is not None
+                    and blocker.ejected_cycle is not None):
+                break
+        assert through.ejected_cycle is not None
+        assert blocker.ejected_cycle is not None
+
+    def test_off_by_default(self):
+        assert not SimConfig().pg.aggressive_bypass
+
+    def test_delivery_correctness_under_aggressive(self):
+        cfg = small_config(Design.NORD, warmup=100, measure=600)
+        cfg = cfg.replace(pg=dataclasses.replace(cfg.pg,
+                                                 aggressive_bypass=True))
+        net = Network(cfg)
+        net.run(uniform_random(net.mesh, 0.1, seed=4))
+        assert net.outstanding_flits == 0
+
+
+class TestSpeculativePipeline:
+    def test_two_stage_hop_timing(self):
+        """2-stage router + LT = 3 cycles per hop (vs 5 canonical):
+        single-flit adjacent packet = inject(2) + 2 x 3 cycles."""
+        cfg = SimConfig(design=Design.NO_PG, noc=NoCConfig(speculative=True),
+                        warmup_cycles=0, measure_cycles=100,
+                        drain_cycles=100)
+        net = Network(cfg)
+        res = net.run(ScriptedTraffic([(5, 0, 1, 1)], 16),
+                      warmup=0, measure=100, drain=100)
+        assert res.total_latency == 2 + 3 * 2
+
+    def test_speculative_faster_under_load(self):
+        lats = {}
+        for spec in (False, True):
+            cfg = SimConfig(design=Design.NO_PG,
+                            noc=NoCConfig(speculative=spec),
+                            warmup_cycles=100, measure_cycles=800,
+                            drain_cycles=4000)
+            net = Network(cfg)
+            res = net.run(uniform_random(net.mesh, 0.15, seed=2))
+            lats[spec] = res.avg_packet_latency
+        assert lats[True] < lats[False]
+
+    def test_speculative_works_for_all_designs(self):
+        for design in Design.ALL:
+            cfg = SimConfig(design=design, noc=NoCConfig(speculative=True),
+                            warmup_cycles=50, measure_cycles=400,
+                            drain_cycles=4000)
+            net = Network(cfg)
+            net.run(uniform_random(net.mesh, 0.08, seed=3))
+            assert net.outstanding_flits == 0, design
+
+    def test_section_68_claim_no_clear_baseline_advantage(self):
+        """Shortening the baseline pipeline also shortens the cycles that
+        can hide wakeup latency, so speculative Conv_PG_OPT still pays
+        wakeups while optimized NoRD does not: NoRD remains competitive."""
+        lats = {}
+        for design, aggressive in ((Design.CONV_PG_OPT, False),
+                                   (Design.NORD, True)):
+            cfg = SimConfig(design=design,
+                            noc=NoCConfig(speculative=True),
+                            warmup_cycles=200, measure_cycles=1500,
+                            drain_cycles=6000)
+            cfg = cfg.replace(pg=dataclasses.replace(
+                cfg.pg, aggressive_bypass=aggressive))
+            net = Network(cfg)
+            res = net.run(uniform_random(net.mesh, 0.02, seed=3))
+            lats[design] = res.avg_packet_latency
+        assert lats[Design.NORD] < lats[Design.CONV_PG_OPT] * 1.1

@@ -1,0 +1,80 @@
+"""Packets and flits: decomposition, flags, latency accounting."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.noc.flit import Flit, FlitType, Packet, reset_packet_ids
+
+
+class TestPacket:
+    def test_ids_monotonic(self):
+        reset_packet_ids()
+        a = Packet(0, 1, 1, 0)
+        b = Packet(0, 1, 1, 0)
+        assert b.pid == a.pid + 1
+
+    def test_reset_packet_ids(self):
+        reset_packet_ids()
+        assert Packet(0, 1, 1, 0).pid == 0
+
+    def test_latency_requires_ejection(self):
+        pkt = Packet(0, 1, 1, created_cycle=10)
+        with pytest.raises(ValueError):
+            _ = pkt.latency
+        pkt.ejected_cycle = 35
+        assert pkt.latency == 25
+
+    def test_initial_state(self):
+        pkt = Packet(2, 9, 5, 100, klass=1)
+        assert pkt.misroutes == 0
+        assert not pkt.on_escape
+        assert pkt.hops == 0
+        assert pkt.bypass_hops == 0
+        assert pkt.escape_level == 0
+        assert pkt.klass == 1
+
+
+class TestFlitDecomposition:
+    def test_single_flit_packet_is_head_tail(self):
+        flits = Packet(0, 1, 1, 0).make_flits()
+        assert len(flits) == 1
+        assert flits[0].ftype == FlitType.HEAD_TAIL
+        assert flits[0].is_head and flits[0].is_tail
+
+    def test_five_flit_packet_structure(self):
+        flits = Packet(0, 1, 5, 0).make_flits()
+        assert len(flits) == 5
+        assert flits[0].ftype == FlitType.HEAD
+        assert all(f.ftype == FlitType.BODY for f in flits[1:4])
+        assert flits[4].ftype == FlitType.TAIL
+
+    def test_two_flit_packet_has_no_body(self):
+        flits = Packet(0, 1, 2, 0).make_flits()
+        assert [f.ftype for f in flits] == [FlitType.HEAD, FlitType.TAIL]
+
+    @given(st.integers(1, 12))
+    def test_exactly_one_head_and_one_tail(self, length):
+        flits = Packet(0, 1, length, 0).make_flits()
+        assert len(flits) == length
+        assert sum(f.is_head for f in flits) == 1
+        assert sum(f.is_tail for f in flits) == 1
+        assert flits[0].is_head
+        assert flits[-1].is_tail
+
+    @given(st.integers(1, 12))
+    def test_flit_indices_are_sequential(self, length):
+        flits = Packet(0, 1, length, 0).make_flits()
+        assert [f.index for f in flits] == list(range(length))
+
+    def test_flits_share_packet(self):
+        pkt = Packet(3, 7, 5, 0)
+        for flit in pkt.make_flits():
+            assert flit.packet is pkt
+            assert flit.src == 3
+            assert flit.dst == 7
+
+    def test_repr_smoke(self):
+        pkt = Packet(0, 1, 2, 0)
+        assert "Packet" in repr(pkt)
+        assert "H" in repr(pkt.make_flits()[0])

@@ -1,0 +1,67 @@
+"""Delay lines and links: fixed-latency FIFO transport."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.noc.link import DelayLine, Link
+
+
+class TestDelayLine:
+    def test_rejects_zero_delay(self):
+        with pytest.raises(ValueError):
+            DelayLine(0)
+
+    def test_item_emerges_after_delay(self):
+        line = DelayLine(2)
+        line.send("a", now=10)
+        assert line.receive(10) == []
+        assert line.receive(11) == []
+        assert line.receive(12) == ["a"]
+        assert line.empty
+
+    def test_receive_is_cumulative(self):
+        line = DelayLine(1)
+        line.send("a", 0)
+        line.send("b", 1)
+        assert line.receive(5) == ["a", "b"]
+
+    def test_fifo_order_same_cycle(self):
+        line = DelayLine(1)
+        line.send("x", 3)
+        line.send("y", 3)
+        assert line.receive(4) == ["x", "y"]
+
+    def test_peek_pending_does_not_consume(self):
+        line = DelayLine(3)
+        line.send(1, 0)
+        assert line.peek_pending() == [1]
+        assert len(line) == 1
+        assert line.receive(3) == [1]
+
+    @given(st.lists(st.tuples(st.integers(0, 50), st.integers()),
+                    max_size=20),
+           st.integers(1, 4))
+    @settings(max_examples=40)
+    def test_order_preserved_for_monotonic_sends(self, events, delay):
+        events.sort(key=lambda e: e[0])
+        line = DelayLine(delay)
+        for t, payload in events:
+            line.send(payload, t)
+        out = line.receive(100)
+        assert out == [payload for _, payload in events]
+
+
+class TestLink:
+    def test_carries_flits_and_credits_independently(self):
+        link = Link(0, 1, 1, 0, delay=2)
+        link.flits.send(("f", 0), 0)
+        link.credits.send(3, 0)
+        assert link.busy
+        assert link.credits.receive(2) == [3]
+        assert link.flits.receive(2) == [("f", 0)]
+        assert not link.busy
+
+    def test_endpoint_metadata(self):
+        link = Link(5, 0, 6, 1, delay=2)
+        assert (link.src, link.src_port, link.dst, link.dst_port) == (5, 0, 6, 1)

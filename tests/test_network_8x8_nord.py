@@ -1,0 +1,67 @@
+"""NoRD on the 64-node mesh: scalability-specific behavior."""
+
+import pytest
+
+from repro.config import Design, NoCConfig, SimConfig
+from repro.noc.network import Network
+from repro.traffic.synthetic import uniform_random
+
+
+def net_8x8(design):
+    cfg = SimConfig(design=design, noc=NoCConfig(width=8, height=8),
+                    warmup_cycles=100, measure_cycles=600,
+                    drain_cycles=6_000)
+    return Network(cfg), cfg
+
+
+class TestScaling:
+    def test_misroute_cap_scales_with_mesh(self):
+        net4 = Network(SimConfig(design=Design.NORD))
+        net8, _ = net_8x8(Design.NORD)
+        assert net4.routing.misroute_cap == 4
+        assert net8.routing.misroute_cap == 8
+
+    def test_explicit_cap_overrides_auto(self):
+        import dataclasses
+        cfg = SimConfig(design=Design.NORD,
+                        noc=NoCConfig(width=8, height=8))
+        cfg = cfg.replace(routing=dataclasses.replace(cfg.routing,
+                                                      misroute_cap=5))
+        assert Network(cfg).routing.misroute_cap == 5
+
+    def test_serpentine_ring_used_on_8x8(self):
+        net, _ = net_8x8(Design.NORD)
+        assert len(net.ring) == 64
+        # top row runs east on the serpentine construction
+        assert net.ring.successor[0] == 1
+        assert net.ring.successor[6] == 7
+
+    def test_64_node_run_clean(self):
+        net, _ = net_8x8(Design.NORD)
+        res = net.run(uniform_random(net.mesh, 0.05, seed=2))
+        assert net.outstanding_flits == 0
+        assert res.packets_measured > 0
+
+    def test_perf_centric_count_follows_paper_ratio(self):
+        net, _ = net_8x8(Design.NORD)
+        perf = [n for n, c in enumerate(net.controllers)
+                if getattr(c, "performance_centric", False)]
+        assert len(perf) == 24  # 6/16 of 64
+
+    def test_cumulative_wakeup_gap_grows_with_size(self):
+        """Section 6.7: Conv_PG_OPT's low-load latency penalty grows with
+        network diameter (every extra hop can add a wakeup)."""
+        penalties = {}
+        for width, height in ((4, 4), (8, 8)):
+            lat = {}
+            for design in (Design.NO_PG, Design.CONV_PG_OPT):
+                cfg = SimConfig(design=design,
+                                noc=NoCConfig(width=width, height=height),
+                                warmup_cycles=100, measure_cycles=800,
+                                drain_cycles=6_000)
+                net = Network(cfg)
+                res = net.run(uniform_random(net.mesh, 0.02, seed=2))
+                lat[design] = res.avg_packet_latency
+            penalties[(width, height)] = (lat[Design.CONV_PG_OPT]
+                                          - lat[Design.NO_PG])
+        assert penalties[(8, 8)] > penalties[(4, 4)]

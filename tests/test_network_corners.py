@@ -1,0 +1,145 @@
+"""Network corner cases: transitions mid-flight, error paths, edge meshes."""
+
+import dataclasses
+
+import pytest
+
+from repro.config import Design, NoCConfig, SimConfig, small_config
+from repro.noc.network import Network
+from repro.noc.topology import EAST, LOCAL
+from repro.powergate.controller import PowerState
+from repro.traffic.base import NullTraffic, ScriptedTraffic
+from repro.traffic.synthetic import uniform_random
+
+
+class TestErrorPaths:
+    def test_send_flit_off_mesh_raises(self):
+        net = Network(small_config(Design.NO_PG))
+        from repro.noc.flit import Packet
+        flit = Packet(3, 0, 1, 0).make_flits()[0]
+        with pytest.raises(RuntimeError, match="no link"):
+            net.send_flit(3, EAST, flit, 0, 0)  # node 3 has no EAST link
+
+    def test_deadlock_detector_fires(self):
+        net = Network(small_config(Design.NO_PG))
+        net._outstanding = 5  # pretend flits exist but never move
+        net._last_progress = 0
+        with pytest.raises(RuntimeError, match="deadlock"):
+            for _ in range(6000):
+                net.step()
+
+
+class TestSmallAndAsymmetricMeshes:
+    @pytest.mark.parametrize("wh", [(2, 2), (3, 2), (2, 4), (5, 4)])
+    def test_all_designs_work_on_odd_shapes(self, wh):
+        for design in Design.ALL:
+            cfg = SimConfig(design=design,
+                            noc=NoCConfig(width=wh[0], height=wh[1]),
+                            warmup_cycles=0, measure_cycles=300,
+                            drain_cycles=2000)
+            net = Network(cfg)
+            res = net.run(uniform_random(net.mesh, 0.05, seed=2),
+                          warmup=0, measure=300, drain=2000)
+            assert net.outstanding_flits == 0, (design, wh)
+
+    def test_nord_rejects_nothing_on_8x8(self):
+        cfg = SimConfig(design=Design.NORD, noc=NoCConfig(width=8, height=8),
+                        warmup_cycles=0, measure_cycles=150,
+                        drain_cycles=2000)
+        net = Network(cfg)
+        net.run(uniform_random(net.mesh, 0.05, seed=2),
+                warmup=0, measure=150, drain=2000)
+        assert net.outstanding_flits == 0
+
+
+class TestTransitionRaces:
+    def test_injection_during_wakeup_uses_ring(self):
+        """A NoRD node can inject while its router is WAKING (bypass keeps
+        functioning during wakeup, Section 4.3)."""
+        cfg = small_config(Design.NORD)
+        cfg = cfg.replace(pg=dataclasses.replace(cfg.pg, nord_min_idle=1,
+                                                 wakeup_latency=40))
+        net = Network(cfg)
+        for _ in range(30):
+            net.step()  # everything gates off
+        src = net.ring.order[2]
+        # force the controller into WAKING and inject immediately
+        net.controllers[src].state = PowerState.WAKING
+        net.controllers[src]._wake_left = 40
+        pkt = net.inject_packet(src, net.ring.order[5], 1)
+        for _ in range(60):
+            net.step()
+            if pkt.ejected_cycle is not None:
+                break
+        assert pkt.ejected_cycle is not None
+        assert pkt.injected_cycle is not None
+        # it left before the 40-cycle wakeup would have completed
+        assert pkt.injected_cycle - pkt.created_cycle < 40
+
+    def test_conv_injection_blocked_until_wake(self):
+        cfg = small_config(Design.CONV_PG)
+        net = Network(cfg)
+        for _ in range(30):
+            net.step()
+        assert net.controllers[5].state == PowerState.OFF
+        pkt = net.inject_packet(5, 6, 1)
+        for _ in range(200):
+            net.step()
+            if pkt.ejected_cycle is not None:
+                break
+        assert pkt.injected_cycle - pkt.created_cycle >= \
+            cfg.pg.wakeup_latency
+
+    def test_rapid_on_off_cycling_stays_consistent(self):
+        """Hammer the state machine with minimal hysteresis and bursty
+        traffic; every invariant check in the datapath must hold."""
+        cfg = small_config(Design.NORD)
+        cfg = cfg.replace(pg=dataclasses.replace(cfg.pg, nord_min_idle=1,
+                                                 wakeup_latency=3))
+        net = Network(cfg)
+        events = []
+        for burst_start in range(10, 400, 40):
+            for offset in range(8):
+                src = (burst_start + offset) % 16
+                dst = (src + 7) % 16
+                events.append((burst_start + offset, src, dst, 5))
+        traffic = ScriptedTraffic(events, 16)
+        for _ in range(450):
+            net._inject_arrivals(traffic)
+            net.step()
+        for _ in range(3000):
+            if net.outstanding_flits == 0:
+                break
+            net.step()
+        assert net.outstanding_flits == 0
+        assert sum(c.wakeups for c in net.controllers) > 0
+
+    def test_gate_offs_equal_wakeups_plus_current_off(self):
+        cfg = small_config(Design.CONV_PG)
+        net = Network(cfg)
+        traffic = uniform_random(net.mesh, 0.05, seed=4)
+        for _ in range(800):
+            net._inject_arrivals(traffic)
+            net.step()
+        for ctrl in net.controllers:
+            off_now = 1 if ctrl.state != PowerState.ON else 0
+            waking = 1 if ctrl.state == PowerState.WAKING else 0
+            assert ctrl.gate_offs == ctrl.wakeups + off_now - waking
+
+
+class TestRunDriver:
+    def test_run_respects_overrides(self):
+        net = Network(small_config(Design.NO_PG))
+        res = net.run(NullTraffic(), warmup=10, measure=50, drain=0)
+        assert res.cycles == 50
+        assert net.now == 60
+
+    def test_counters_cover_only_measurement_window(self):
+        cfg = small_config(Design.NO_PG)
+        net = Network(cfg)
+        events = [(c, 0, 15, 5) for c in range(5, 500, 7)]
+        traffic = ScriptedTraffic(events, 16)
+        res = net.run(traffic, warmup=100, measure=200, drain=1000)
+        # warmup packets do not contribute measured latency
+        measured_creations = [c for c, *_ in events if 100 <= c < 300]
+        assert res.packets_measured <= len(measured_creations) + 1

@@ -1,0 +1,134 @@
+"""Floyd-Warshall placement analysis (Figure 6, Section 4.4)."""
+
+import pytest
+
+from repro.core.placement import (OFF_HOP_COST, ON_HOP_COST,
+                                  PAPER_PERF_CENTRIC_4X4, PlacementAnalysis,
+                                  central_routers, default_perf_centric,
+                                  floyd_warshall, reachability_edges)
+from repro.core.ring import build_ring
+from repro.noc.topology import Mesh
+
+
+@pytest.fixture(scope="module")
+def mesh4():
+    return Mesh(4, 4)
+
+
+@pytest.fixture(scope="module")
+def ring4(mesh4):
+    return build_ring(mesh4)
+
+
+@pytest.fixture(scope="module")
+def analysis(mesh4, ring4):
+    return PlacementAnalysis(mesh4, ring4)
+
+
+class TestReachability:
+    def test_all_on_equals_mesh(self, mesh4, ring4):
+        adj = reachability_edges(mesh4, ring4, set(range(16)))
+        for node in range(16):
+            expected = sorted(nbr for _, nbr in mesh4.neighbors(node))
+            assert sorted(adj[node]) == expected
+
+    def test_all_off_equals_ring(self, mesh4, ring4):
+        adj = reachability_edges(mesh4, ring4, set())
+        for node in range(16):
+            assert adj[node] == [ring4.successor[node]]
+
+    def test_off_router_enterable_only_via_bypass_inport(self, mesh4, ring4):
+        off = ring4.order[5]
+        on = set(range(16)) - {off}
+        adj = reachability_edges(mesh4, ring4, on)
+        pred = ring4.predecessor[off]
+        for node in range(16):
+            if off in adj[node]:
+                assert node == pred
+
+
+class TestFloydWarshall:
+    def test_simple_chain(self):
+        dist = floyd_warshall([[1], [2], []])
+        assert dist[0][2] == 2
+        assert dist[2][0] == float("inf")
+        assert dist[1][1] == 0
+
+    def test_all_on_matches_manhattan(self, mesh4, ring4):
+        adj = reachability_edges(mesh4, ring4, set(range(16)))
+        dist = floyd_warshall(adj)
+        for a in range(16):
+            for b in range(16):
+                assert dist[a][b] == mesh4.hop_distance(a, b)
+
+
+class TestMetrics:
+    def test_all_on_metrics(self, analysis, mesh4):
+        dist, per_hop = analysis.metrics(range(16))
+        assert dist == pytest.approx(mesh4.average_distance())
+        assert per_hop == pytest.approx(ON_HOP_COST)
+
+    def test_all_off_metrics(self, analysis):
+        """With every router off, packets ride the ring: the average
+        distance over ordered pairs is N/2 = 8 hops at 3 cycles each."""
+        dist, per_hop = analysis.metrics([])
+        assert dist == pytest.approx(8.0)
+        assert per_hop == pytest.approx(OFF_HOP_COST)
+
+    def test_paper_set_beats_ring_only(self, analysis):
+        dist_on, _ = analysis.metrics(PAPER_PERF_CENTRIC_4X4)
+        dist_off, _ = analysis.metrics([])
+        assert dist_on < dist_off
+
+    def test_metrics_monotone_in_anchoring_points(self, analysis):
+        """More routers on => per-hop latency rises toward 5 cycles."""
+        _, lat0 = analysis.metrics([])
+        _, lat16 = analysis.metrics(range(16))
+        assert lat0 < lat16
+
+
+class TestGreedySelection:
+    def test_curve_shape(self, analysis):
+        curve = analysis.greedy_selection()
+        assert len(curve) == 17
+        dists = [d for _, d, _ in curve]
+        # distance broadly decreases from ring-only to full-mesh
+        assert dists[0] == pytest.approx(8.0)
+        assert dists[-1] == pytest.approx(8 / 3)
+        assert min(dists) == dists[-1]
+        # sets grow by one each step
+        for k, (routers, _, _) in enumerate(curve):
+            assert len(routers) == k
+
+    def test_knee_set_size(self, analysis):
+        assert len(analysis.knee_set(6)) == 6
+
+    def test_refined_beats_paper_set_or_matches(self, analysis):
+        """The refined greedy 6-set should be at least as good as the
+        paper's hand-picked {4,5,6,7,13,14}."""
+        curve = analysis.greedy_selection()
+        paper_dist, _ = analysis.metrics(PAPER_PERF_CENTRIC_4X4)
+        assert curve[6][1] <= paper_dist + 1e-9
+
+    def test_exhaustive_best_small(self, mesh4, ring4):
+        analysis = PlacementAnalysis(mesh4, ring4)
+        best_set, dist, _ = analysis.exhaustive_best(1)
+        greedy = analysis.greedy_selection(refine=False)
+        assert dist <= greedy[1][1] + 1e-9
+        assert len(best_set) == 1
+
+
+class TestDefaults:
+    def test_default_perf_centric_4x4_is_paper_set(self, mesh4, ring4):
+        assert default_perf_centric(mesh4, ring4) == PAPER_PERF_CENTRIC_4X4
+
+    def test_default_ratio_for_larger_mesh(self):
+        mesh = Mesh(8, 8)
+        ring = build_ring(mesh)
+        chosen = default_perf_centric(mesh, ring)
+        assert len(chosen) == 24  # 6/16 of 64
+
+    def test_central_routers_prefers_center(self):
+        mesh = Mesh(4, 4)
+        four = central_routers(mesh, 4)
+        assert four == frozenset({5, 6, 9, 10})

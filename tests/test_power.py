@@ -1,0 +1,183 @@
+"""Power/area model: calibration anchors, energy accounting, breakeven."""
+
+import pytest
+
+from repro.config import Design, SimConfig
+from repro.power.area import nord_area_overhead, router_area
+from repro.power.model import (EnergyReport, PowerModel,
+                               router_power_decomposition,
+                               static_power_share)
+from repro.power.technology import (DEFAULT_TECH, STATIC_BREAKDOWN,
+                                    TECH_45NM, get_tech)
+from repro.stats.collector import RouterActivity, RunResult
+
+
+class TestCalibrationAnchors:
+    """The model must reproduce the paper's own Figure 1 numbers."""
+
+    @pytest.mark.parametrize("nm,vdd,share", [
+        (65, 1.2, 0.179), (45, 1.1, 0.354), (32, 1.0, 0.477),
+    ])
+    def test_figure_1a_anchor_points(self, nm, vdd, share):
+        assert static_power_share(nm, vdd) == pytest.approx(share, abs=0.002)
+
+    def test_share_rises_as_feature_size_shrinks(self):
+        shares = [static_power_share(nm, 1.1) for nm in (65, 45, 32)]
+        assert shares == sorted(shares)
+
+    def test_share_rises_as_voltage_drops(self):
+        shares = [static_power_share(45, v) for v in (1.2, 1.1, 1.0)]
+        assert shares == sorted(shares)
+
+    def test_figure_1b_buffer_dominates_static(self):
+        assert STATIC_BREAKDOWN["buffer"] == pytest.approx(0.55)
+        assert sum(STATIC_BREAKDOWN.values()) == pytest.approx(1.0)
+
+    def test_figure_1b_decomposition(self):
+        decomp = router_power_decomposition()
+        assert decomp["dynamic"] == pytest.approx(0.62, abs=0.02)
+        assert decomp["buffer_static"] == pytest.approx(0.21, abs=0.02)
+        assert sum(decomp.values()) == pytest.approx(1.0)
+
+    def test_unknown_tech_rejected(self):
+        with pytest.raises(ValueError):
+            get_tech(22, 1.0)
+
+
+def _result(design=Design.NO_PG, cycles=1000, **activity):
+    res = RunResult(design=design, cycles=cycles, num_nodes=16)
+    res.routers = [RouterActivity(**activity) for _ in range(16)]
+    return res
+
+
+class TestEnergyAccounting:
+    def test_always_on_static_energy(self):
+        cfg = SimConfig(design=Design.NO_PG)
+        model = PowerModel(cfg)
+        res = _result(cycles=1000, cycles_on=1000)
+        report = model.evaluate(res)
+        expected = (16 * DEFAULT_TECH.router_static_w * 1000 *
+                    cfg.noc.cycle_time_s)
+        assert report.router_static_j == pytest.approx(expected)
+        assert report.router_static_nopg_j == pytest.approx(expected)
+        assert report.pg_overhead_j == 0.0
+
+    def test_gated_router_saves_static_energy(self):
+        cfg = SimConfig(design=Design.CONV_PG)
+        model = PowerModel(cfg)
+        on = model.evaluate(_result(Design.CONV_PG, cycles_on=1000))
+        half = model.evaluate(_result(Design.CONV_PG, cycles_on=500,
+                                      cycles_off=500))
+        assert half.router_static_j < 0.6 * on.router_static_j
+
+    def test_breakeven_identity(self):
+        """Gating for exactly BET cycles nets zero: the saved static energy
+        equals the single wakeup's overhead (Section 2.2's definition)."""
+        cfg = SimConfig(design=Design.CONV_PG)
+        model = PowerModel(cfg)
+        bet = cfg.pg.breakeven_time
+        baseline = model.evaluate(_result(Design.CONV_PG, cycles_on=1000))
+        gated = model.evaluate(_result(Design.CONV_PG, cycles_on=1000 - bet,
+                                       cycles_off=bet, wakeups=1))
+        saved = baseline.router_static_j - gated.router_static_j
+        # residual leakage while off makes the saving slightly smaller
+        assert gated.pg_overhead_j == pytest.approx(saved, rel=0.05)
+
+    def test_waking_cycles_count_as_gated(self):
+        cfg = SimConfig(design=Design.CONV_PG)
+        model = PowerModel(cfg)
+        a = model.evaluate(_result(Design.CONV_PG, cycles_off=100,
+                                   cycles_on=900))
+        b = model.evaluate(_result(Design.CONV_PG, cycles_waking=100,
+                                   cycles_on=900))
+        assert a.router_static_j == pytest.approx(b.router_static_j)
+
+    def test_dynamic_energy_scales_with_events(self):
+        cfg = SimConfig()
+        model = PowerModel(cfg)
+        one = model.evaluate(_result(cycles_on=100, buffer_writes=100,
+                                     buffer_reads=100, xbar_traversals=100,
+                                     va_grants=100, sa_grants=100))
+        two = model.evaluate(_result(cycles_on=100, buffer_writes=200,
+                                     buffer_reads=200, xbar_traversals=200,
+                                     va_grants=200, sa_grants=200))
+        assert two.router_dynamic_j == pytest.approx(
+            2 * one.router_dynamic_j)
+
+    def test_full_router_traversal_energy_sums_to_per_flit(self):
+        cfg = SimConfig()
+        model = PowerModel(cfg)
+        res = _result(cycles_on=1, buffer_writes=1, buffer_reads=1,
+                      xbar_traversals=1, va_grants=1, sa_grants=1)
+        report = model.evaluate(res)
+        assert report.router_dynamic_j == pytest.approx(
+            16 * DEFAULT_TECH.router_dyn_j_per_flit)
+
+    def test_bypass_flit_cheaper_than_router_flit(self):
+        cfg = SimConfig(design=Design.NORD)
+        model = PowerModel(cfg)
+        router_flit = model.evaluate(
+            _result(Design.NORD, cycles_on=1, buffer_writes=1,
+                    buffer_reads=1, xbar_traversals=1, va_grants=1,
+                    sa_grants=1))
+        bypass_flit = model.evaluate(
+            _result(Design.NORD, cycles_on=1, ni_latch_writes=1))
+        assert bypass_flit.router_dynamic_j < 0.5 * router_flit.router_dynamic_j
+
+    def test_nord_pays_always_on_bypass_static(self):
+        res_off = _result(Design.NORD, cycles_off=1000)
+        nord = PowerModel(SimConfig(design=Design.NORD)).evaluate(res_off)
+        res_off2 = _result(Design.CONV_PG, cycles_off=1000)
+        conv = PowerModel(SimConfig(design=Design.CONV_PG)).evaluate(res_off2)
+        assert nord.router_static_j > conv.router_static_j
+
+    def test_link_static_independent_of_traffic(self):
+        cfg = SimConfig()
+        model = PowerModel(cfg)
+        quiet = model.evaluate(_result(cycles_on=1000))
+        busy = _result(cycles_on=1000)
+        busy.link_flits = 100000
+        busy_rep = model.evaluate(busy)
+        assert quiet.link_static_j == pytest.approx(busy_rep.link_static_j)
+        assert busy_rep.link_dynamic_j > quiet.link_dynamic_j
+
+    def test_num_links_4x4(self):
+        model = PowerModel(SimConfig())
+        assert model.num_links(16) == 48
+
+    def test_report_breakdown_sums_to_total(self):
+        model = PowerModel(SimConfig(design=Design.CONV_PG))
+        report = model.evaluate(_result(Design.CONV_PG, cycles_on=500,
+                                        cycles_off=500, wakeups=10,
+                                        buffer_writes=50, buffer_reads=50,
+                                        xbar_traversals=50, va_grants=50,
+                                        sa_grants=50))
+        assert sum(report.breakdown().values()) == pytest.approx(
+            report.total_j)
+        assert report.avg_power_w > 0
+
+
+class TestArea:
+    def test_nord_overhead_matches_paper(self):
+        """Paper Section 6.8: 3.1% over Conv_PG_OPT."""
+        assert nord_area_overhead(SimConfig()) == pytest.approx(0.031,
+                                                                abs=0.008)
+
+    def test_pg_designs_pay_sleep_switch_area(self):
+        cfg = SimConfig()
+        no_pg = router_area(cfg, Design.NO_PG).total
+        conv = router_area(cfg, Design.CONV_PG).total
+        assert 1.04 <= conv / no_pg <= 1.10
+
+    def test_buffers_dominate_router_area(self):
+        area = router_area(SimConfig(), Design.NO_PG)
+        assert area.buffers > 0.5 * area.total
+
+    def test_area_scales_with_buffers(self):
+        import dataclasses
+        from repro.config import NoCConfig
+        small = router_area(SimConfig(noc=NoCConfig(buffer_depth=2)),
+                            Design.NO_PG)
+        big = router_area(SimConfig(noc=NoCConfig(buffer_depth=10)),
+                          Design.NO_PG)
+        assert big.buffers == pytest.approx(5 * small.buffers)

@@ -1,0 +1,170 @@
+"""Power-gating controller state machines."""
+
+import pytest
+
+from repro.config import PowerGateConfig
+from repro.powergate.controller import (GateInputs, NoPGController,
+                                        PowerState, Transition)
+from repro.powergate.conventional import ConvPGController, ConvPGOptController
+from repro.powergate.nord import NoRDController
+
+IDLE = GateInputs(empty=True, incoming=False, wakeup=False)
+BUSY = GateInputs(empty=False, incoming=False, wakeup=False)
+WAKE = GateInputs(empty=True, incoming=False, wakeup=True)
+IC = GateInputs(empty=True, incoming=True, wakeup=False)
+
+
+def pg(**kw):
+    return PowerGateConfig(**kw)
+
+
+class TestNoPG:
+    def test_never_gates(self):
+        ctrl = NoPGController(0, pg())
+        for _ in range(100):
+            assert ctrl.step(IDLE) is None
+        assert ctrl.state == PowerState.ON
+        assert ctrl.cycles_on == 100
+        assert ctrl.wakeups == 0
+
+
+class TestConvPG:
+    def test_gates_as_soon_as_empty(self):
+        ctrl = ConvPGController(0, pg())
+        assert ctrl.step(IDLE) == Transition.GATED_OFF
+        assert ctrl.state == PowerState.OFF
+
+    def test_does_not_gate_when_busy(self):
+        ctrl = ConvPGController(0, pg())
+        for _ in range(20):
+            assert ctrl.step(BUSY) is None
+        assert ctrl.state == PowerState.ON
+
+    def test_ic_blocks_gating(self):
+        ctrl = ConvPGController(0, pg())
+        assert ctrl.step(IC) is None
+        assert ctrl.state == PowerState.ON
+
+    def test_wakeup_sequence_takes_wakeup_latency(self):
+        ctrl = ConvPGController(0, pg(wakeup_latency=12))
+        ctrl.step(IDLE)  # gate off
+        assert ctrl.step(WAKE) == Transition.WAKE_STARTED
+        assert ctrl.state == PowerState.WAKING
+        events = [ctrl.step(IDLE) for _ in range(12)]
+        assert events[:-1] == [None] * 11
+        assert events[-1] == Transition.WOKE
+        assert ctrl.state == PowerState.ON
+        assert ctrl.wakeups == 1
+
+    def test_wakeup_completes_even_if_wu_deasserts(self):
+        ctrl = ConvPGController(0, pg(wakeup_latency=3))
+        ctrl.step(IDLE)
+        ctrl.step(WAKE)
+        ctrl.step(IDLE)
+        ctrl.step(IDLE)
+        assert ctrl.step(IDLE) == Transition.WOKE
+
+    def test_stays_off_without_wakeup(self):
+        ctrl = ConvPGController(0, pg())
+        ctrl.step(IDLE)
+        for _ in range(50):
+            assert ctrl.step(IDLE) is None
+        assert ctrl.cycles_off == 50
+
+    def test_state_accounting(self):
+        ctrl = ConvPGController(0, pg(wakeup_latency=2))
+        ctrl.step(BUSY)          # on
+        ctrl.step(IDLE)          # on -> off (accounted as on this cycle)
+        ctrl.step(IDLE)          # off
+        ctrl.step(WAKE)          # off -> waking
+        ctrl.step(IDLE)          # waking
+        ctrl.step(IDLE)          # waking -> on
+        assert ctrl.cycles_on == 2
+        assert ctrl.cycles_off == 2
+        assert ctrl.cycles_waking == 2
+
+
+class TestConvPGOpt:
+    def test_requires_four_idle_cycles(self):
+        """Idle periods shorter than 4 cycles are never gated."""
+        ctrl = ConvPGOptController(0, pg(min_idle_before_gate=4))
+        for _ in range(3):
+            assert ctrl.step(IDLE) is None
+        assert ctrl.step(IDLE) == Transition.GATED_OFF
+
+    def test_busy_cycle_resets_idle_run(self):
+        ctrl = ConvPGOptController(0, pg(min_idle_before_gate=4))
+        ctrl.step(IDLE)
+        ctrl.step(IDLE)
+        ctrl.step(IDLE)
+        ctrl.step(BUSY)
+        assert ctrl.step(IDLE) is None
+        assert ctrl.state == PowerState.ON
+
+    def test_early_wakeup_flag(self):
+        assert ConvPGOptController(0, pg()).early_wakeup
+        assert not ConvPGController(0, pg()).early_wakeup
+
+
+class TestNoRDController:
+    def test_threshold_validation(self):
+        with pytest.raises(ValueError):
+            NoRDController(0, pg(), threshold=0)
+
+    def test_min_idle_from_config(self):
+        ctrl = NoRDController(0, pg(nord_min_idle=7), threshold=3)
+        assert ctrl.min_idle_before_gate == 7
+
+    def test_window_sums_stalled_requests(self):
+        ctrl = NoRDController(0, pg(wakeup_window=10), threshold=3)
+        ctrl.note_vc_request(attempted=2, stalled=2)
+        ctrl.end_cycle()
+        assert ctrl.window_requests == 2
+        assert not ctrl.wakeup_wanted
+        ctrl.note_vc_request(attempted=1, stalled=1)
+        assert ctrl.window_requests == 3
+        assert ctrl.wakeup_wanted
+
+    def test_granted_requests_do_not_count_by_default(self):
+        ctrl = NoRDController(0, pg(), threshold=1)
+        ctrl.note_vc_request(attempted=5, stalled=0)
+        ctrl.end_cycle()
+        assert ctrl.window_requests == 0
+        assert not ctrl.wakeup_wanted
+        assert ctrl.total_vc_requests == 5
+
+    def test_count_all_requests_mode(self):
+        ctrl = NoRDController(0, pg(), threshold=1)
+        ctrl.count_all_requests = True
+        ctrl.note_vc_request(attempted=1, stalled=0)
+        assert ctrl.wakeup_wanted
+
+    def test_window_slides(self):
+        ctrl = NoRDController(0, pg(wakeup_window=3), threshold=1)
+        ctrl.note_vc_request(1, 1)
+        ctrl.end_cycle()
+        assert ctrl.window_requests == 1
+        for _ in range(3):
+            ctrl.end_cycle()
+        assert ctrl.window_requests == 0
+
+    def test_force_off_suppresses_wakeup(self):
+        ctrl = NoRDController(0, pg(), threshold=1)
+        ctrl.force_off = True
+        ctrl.note_vc_request(10, 10)
+        assert not ctrl.wakeup_wanted
+
+    def test_full_cycle_with_metric(self):
+        ctrl = NoRDController(0, pg(nord_min_idle=1, wakeup_latency=2),
+                              threshold=1)
+        assert ctrl.step(IDLE) == Transition.GATED_OFF
+        ctrl.note_vc_request(1, 1)
+        assert ctrl.step(GateInputs(True, False, ctrl.wakeup_wanted)) \
+            == Transition.WAKE_STARTED
+        ctrl.end_cycle()
+        ctrl.step(IDLE)
+        assert ctrl.step(IDLE) == Transition.WOKE
+
+    def test_performance_centric_flag(self):
+        ctrl = NoRDController(4, pg(), threshold=1, performance_centric=True)
+        assert ctrl.performance_centric

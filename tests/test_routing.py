@@ -1,0 +1,172 @@
+"""Routing functions: XY, adaptive + XY escape, NoRD ring escape."""
+
+import pytest
+
+from repro.core.ring import build_ring
+from repro.noc.flit import Packet
+from repro.noc.topology import EAST, LOCAL, NORTH, SOUTH, WEST, Mesh
+from repro.routing.adaptive import AdaptiveXYEscape
+from repro.routing.ring_escape import NoRDRouting
+from repro.routing.xy import XYRouting, xy_port
+
+
+class FakeRouter:
+    """Minimal RouterView for routing-function unit tests."""
+
+    def __init__(self, node, mesh, off=frozenset(), ring=None):
+        self.node = node
+        self.mesh = mesh
+        self.off = set(off)
+        self.ring = ring
+
+    def neighbor_awake(self, port):
+        nbr = self.mesh.neighbor(self.node, port)
+        return nbr is not None and nbr not in self.off
+
+    def port_usable(self, port):
+        if port == LOCAL:
+            return True
+        nbr = self.mesh.neighbor(self.node, port)
+        if nbr is None:
+            return False
+        if nbr not in self.off:
+            return True
+        return self.ring is not None and self.ring.successor[self.node] == nbr
+
+
+@pytest.fixture(scope="module")
+def mesh():
+    return Mesh(4, 4)
+
+
+@pytest.fixture(scope="module")
+def ring(mesh):
+    return build_ring(mesh)
+
+
+class TestXY:
+    def test_xy_port_x_first(self, mesh):
+        assert xy_port(mesh, 0, 15) == EAST
+        assert xy_port(mesh, 3, 15) == NORTH
+        assert xy_port(mesh, 15, 0) == WEST
+        assert xy_port(mesh, 12, 0) == SOUTH
+        assert xy_port(mesh, 7, 7) == LOCAL
+
+    def test_xy_route_reaches_destination(self, mesh):
+        routing = XYRouting(mesh, misroute_cap=4)
+        for src in range(16):
+            for dst in range(16):
+                node, hops = src, 0
+                while node != dst:
+                    choice = routing.route(FakeRouter(node, mesh),
+                                           Packet(src, dst, 1, 0))
+                    port = choice.adaptive_ports[0]
+                    node = mesh.neighbor(node, port)
+                    hops += 1
+                    assert hops <= 6
+                assert hops == mesh.hop_distance(src, dst)
+
+
+class TestAdaptiveXYEscape:
+    def test_offers_all_minimal_ports_when_awake(self, mesh):
+        routing = AdaptiveXYEscape(mesh, 4)
+        choice = routing.route(FakeRouter(0, mesh), Packet(0, 5, 1, 0))
+        assert set(choice.adaptive_ports) == {EAST, NORTH}
+        assert choice.escape_port == xy_port(mesh, 0, 5)
+
+    def test_prefers_awake_neighbors(self, mesh):
+        routing = AdaptiveXYEscape(mesh, 4)
+        router = FakeRouter(0, mesh, off={1})  # east neighbor asleep
+        choice = routing.route(router, Packet(0, 5, 1, 0))
+        assert choice.adaptive_ports == [NORTH]
+
+    def test_falls_back_to_gated_ports(self, mesh):
+        """Conventional PG: if every minimal neighbor sleeps, the packet
+        still routes to one and wakes it from the SA stage."""
+        routing = AdaptiveXYEscape(mesh, 4)
+        router = FakeRouter(0, mesh, off={1, 4})
+        choice = routing.route(router, Packet(0, 5, 1, 0))
+        assert set(choice.adaptive_ports) == {EAST, NORTH}
+
+    def test_escape_vc_is_zero(self, mesh):
+        routing = AdaptiveXYEscape(mesh, 4)
+        assert routing.escape_vc_for_hop(3, Packet(0, 5, 1, 0)) == 0
+
+
+class TestNoRDRouting:
+    def test_at_destination_routes_local(self, mesh, ring):
+        routing = NoRDRouting(mesh, ring, 4)
+        choice = routing.route(FakeRouter(7, mesh, ring=ring),
+                               Packet(0, 7, 1, 0))
+        assert choice.adaptive_ports == [LOCAL]
+        assert choice.escape_port == LOCAL
+
+    def test_minimal_when_neighbors_awake(self, mesh, ring):
+        routing = NoRDRouting(mesh, ring, 4)
+        choice = routing.route(FakeRouter(0, mesh, ring=ring),
+                               Packet(0, 5, 1, 0))
+        assert set(choice.adaptive_ports) == {EAST, NORTH}
+        assert choice.escape_port == ring.outport[0]
+
+    def test_off_minimal_neighbor_usable_only_if_ring_successor(self, mesh,
+                                                                ring):
+        routing = NoRDRouting(mesh, ring, 4)
+        succ = ring.successor[0]
+        # Sleep the ring successor of node 0: if it is on a minimal path,
+        # the port remains usable (Bypass Inport).
+        router = FakeRouter(0, mesh, off={succ}, ring=ring)
+        choice = routing.route(router, Packet(0, 15, 1, 0))
+        assert ring.outport[0] in choice.adaptive_ports or \
+            all(mesh.neighbor(0, p) != succ for p in choice.adaptive_ports)
+
+    def test_detours_on_ring_when_all_minimal_off(self, mesh, ring):
+        routing = NoRDRouting(mesh, ring, 4)
+        # node 5 -> dst 6: only minimal port is EAST (to 6); sleep 6.
+        # 5's ring successor in the paper ring is 6 though, so use a pair
+        # where the successor differs: node 10 -> 11, ring succ of 10 is 9.
+        assert ring.successor[10] != 11
+        router = FakeRouter(10, mesh, off={11}, ring=ring)
+        choice = routing.route(router, Packet(10, 11, 1, 0))
+        assert choice.adaptive_ports == [ring.outport[10]]
+
+    def test_force_escape_after_misroute_cap(self, mesh, ring):
+        routing = NoRDRouting(mesh, ring, misroute_cap=4)
+        pkt = Packet(0, 15, 1, 0)
+        pkt.misroutes = 4
+        choice = routing.route(FakeRouter(0, mesh, ring=ring), pkt)
+        assert choice.force_escape
+
+    def test_force_escape_after_hop_cap(self, mesh, ring):
+        routing = NoRDRouting(mesh, ring, misroute_cap=100)
+        pkt = Packet(0, 15, 1, 0)
+        pkt.hops = routing.hop_cap
+        assert routing.must_escape(pkt)
+
+    def test_dateline_vc_selection(self, mesh, ring):
+        routing = NoRDRouting(mesh, ring, 4)
+        pkt = Packet(0, 15, 1, 0)
+        pkt.on_escape = True
+        before = ring.order[3]
+        assert routing.escape_vc_for_hop(before, pkt) == 0
+        assert routing.escape_vc_for_hop(ring.dateline_node, pkt) == 1
+        routing.note_escape_hop(ring.dateline_node, pkt)
+        assert pkt.escape_level == 1
+        # after crossing, every hop uses VC 1
+        assert routing.escape_vc_for_hop(before, pkt) == 1
+
+    def test_escape_path_has_no_vc0_cycle(self, mesh, ring):
+        """A packet entering escape anywhere uses VC0 only on hops that do
+        not leave the dateline node, so VC0's channel set is acyclic."""
+        routing = NoRDRouting(mesh, ring, 4)
+        for entry in range(16):
+            pkt = Packet(entry, (entry + 7) % 16, 1, 0)
+            pkt.on_escape = True
+            node = entry
+            used_dateline_edge_on_vc0 = False
+            for _ in range(16):
+                vc = routing.escape_vc_for_hop(node, pkt)
+                if node == ring.dateline_node and vc == 0:
+                    used_dateline_edge_on_vc0 = True
+                routing.note_escape_hop(node, pkt)
+                node = ring.successor[node]
+            assert not used_dateline_edge_on_vc0

@@ -1,0 +1,136 @@
+"""Statistics: collector windows, idle periods, report formatting."""
+
+import pytest
+
+from repro.noc.flit import Packet
+from repro.stats.collector import RouterActivity, RunResult, StatsCollector
+from repro.stats.idle import IdlePeriodStats, histogram_buckets
+from repro.stats.report import format_series, format_table, normalized, percent
+
+
+class TestStatsCollector:
+    def test_only_measured_window_counts(self):
+        col = StatsCollector("No_PG", 4)
+        early = Packet(0, 1, 1, created_cycle=5)
+        early.ejected_cycle = 20
+        col.on_packet_ejected(early)  # before measurement: drained only
+        assert col.packets_measured == 0
+        col.start_measurement(10)
+        pkt = Packet(0, 1, 1, created_cycle=15)
+        col.on_packet_created(pkt)
+        pkt.ejected_cycle = 40
+        col.on_packet_ejected(pkt)
+        assert col.packets_measured == 1
+        assert col.total_latency == 25
+
+    def test_packets_created_before_window_excluded(self):
+        col = StatsCollector("No_PG", 4)
+        col.start_measurement(100)
+        pkt = Packet(0, 1, 1, created_cycle=50)
+        pkt.ejected_cycle = 120
+        col.on_packet_ejected(pkt)
+        assert col.packets_measured == 0
+        assert col.packets_ejected == 1
+
+    def test_packets_created_after_stop_excluded(self):
+        col = StatsCollector("No_PG", 4)
+        col.start_measurement(0)
+        col.stop_measurement(100)
+        pkt = Packet(0, 1, 1, created_cycle=150)
+        pkt.ejected_cycle = 170
+        col.on_packet_ejected(pkt)
+        assert col.packets_measured == 0
+
+    def test_idle_period_tracking(self):
+        col = StatsCollector("No_PG", 1)
+        col.start_measurement(0)
+        pattern = [True] * 3 + [False] + [True] * 7 + [False, False]
+        for idle in pattern:
+            col.on_cycle_idle_state(0, idle)
+        col.stop_measurement(len(pattern))
+        assert col.idle_periods == {3: 1, 7: 1}
+        assert col.idle_cycles[0] == 10
+
+    def test_open_idle_run_flushed_at_stop(self):
+        col = StatsCollector("No_PG", 1)
+        col.start_measurement(0)
+        for _ in range(5):
+            col.on_cycle_idle_state(0, True)
+        col.stop_measurement(5)
+        assert col.idle_periods == {5: 1}
+
+
+class TestRunResult:
+    def test_aggregates(self):
+        res = RunResult("No_PG", cycles=100, num_nodes=4,
+                        packets_measured=10, total_latency=250,
+                        total_hops=30, flits_ejected=40)
+        assert res.avg_packet_latency == 25.0
+        assert res.avg_hops == 3.0
+        assert res.throughput_flits_per_node_cycle == pytest.approx(0.1)
+
+    def test_empty_result_nan_latency(self):
+        import math
+        res = RunResult("No_PG", cycles=100, num_nodes=4)
+        assert math.isnan(res.avg_packet_latency)
+
+    def test_router_aggregation(self):
+        res = RunResult("Conv_PG", cycles=100, num_nodes=2)
+        res.routers = [RouterActivity(cycles_on=60, cycles_off=40, wakeups=3),
+                       RouterActivity(cycles_on=100, wakeups=1)]
+        assert res.total_wakeups == 4
+        assert res.avg_off_fraction == pytest.approx((0.4 + 0.0) / 2)
+
+    def test_idle_period_stats_glue(self):
+        res = RunResult("No_PG", cycles=100, num_nodes=1,
+                        idle_periods={5: 3, 20: 1})
+        stats = res.idle_period_stats(bet=10)
+        assert stats.short_fraction == pytest.approx(0.75)
+
+
+class TestIdlePeriodStats:
+    def test_from_histogram(self):
+        stats = IdlePeriodStats.from_histogram({2: 5, 10: 2, 50: 1}, bet=10)
+        assert stats.num_periods == 8
+        assert stats.total_idle_cycles == 2 * 5 + 10 * 2 + 50
+        assert stats.short_periods == 7
+        assert stats.short_fraction == pytest.approx(7 / 8)
+
+    def test_gateable_fraction(self):
+        stats = IdlePeriodStats.from_histogram({5: 2, 100: 1}, bet=10)
+        assert stats.gateable_fraction == pytest.approx(100 / 110)
+
+    def test_empty_histogram(self):
+        stats = IdlePeriodStats.from_histogram({}, bet=10)
+        assert stats.short_fraction == 0.0
+        assert stats.gateable_fraction == 0.0
+        assert stats.mean_length == 0.0
+
+    def test_buckets(self):
+        buckets = histogram_buckets({3: 2, 7: 1, 15: 1, 200: 1},
+                                    edges=(5, 10, 100))
+        assert buckets == [("1-5", 2), ("6-10", 1), ("11-100", 1),
+                           (">100", 1)]
+
+
+class TestReport:
+    def test_format_table_aligns(self):
+        text = format_table(("a", "bbb"), [(1, 2.5), ("x", None)],
+                            title="T")
+        lines = text.splitlines()
+        assert lines[0] == "T"
+        assert "a" in lines[2] and "bbb" in lines[2]
+        assert set(lines[3].replace(" ", "")) == {"-"}
+        assert "2.500" in lines[4]
+
+    def test_format_series(self):
+        text = format_series("s", [1, 2], [3.0, 4.0], "x", "y")
+        assert "x" in text and "y" in text
+
+    def test_percent(self):
+        assert percent(0.123) == "12.3%"
+
+    def test_normalized_guards_zero(self):
+        import math
+        assert normalized(5, 2) == 2.5
+        assert math.isnan(normalized(5, 0))

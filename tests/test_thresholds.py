@@ -1,0 +1,65 @@
+"""Asymmetric wakeup-threshold policy (Section 4.4)."""
+
+import pytest
+
+from repro.config import PowerGateConfig
+from repro.core.placement import PAPER_PERF_CENTRIC_4X4
+from repro.core.ring import build_ring
+from repro.core.thresholds import ThresholdPolicy
+from repro.noc.topology import Mesh
+
+
+@pytest.fixture(scope="module")
+def mesh():
+    return Mesh(4, 4)
+
+
+@pytest.fixture(scope="module")
+def ring(mesh):
+    return build_ring(mesh)
+
+
+class TestThresholdPolicy:
+    def test_default_uses_paper_set_on_4x4(self, mesh, ring):
+        policy = ThresholdPolicy(mesh, ring, PowerGateConfig())
+        assert policy.perf_centric == PAPER_PERF_CENTRIC_4X4
+
+    def test_thresholds_by_class(self, mesh, ring):
+        pg = PowerGateConfig()
+        policy = ThresholdPolicy(mesh, ring, pg)
+        for node in range(16):
+            expected = (pg.perf_threshold
+                        if node in PAPER_PERF_CENTRIC_4X4
+                        else pg.power_threshold)
+            assert policy.threshold(node) == expected
+
+    def test_explicit_set_overrides_default(self, mesh, ring):
+        policy = ThresholdPolicy(mesh, ring, PowerGateConfig(),
+                                 perf_centric=frozenset({0, 1}))
+        assert policy.is_performance_centric(0)
+        assert not policy.is_performance_centric(4)
+
+    def test_symmetric_mode_everything_power_centric(self, mesh, ring):
+        pg = PowerGateConfig()
+        policy = ThresholdPolicy(mesh, ring, pg, symmetric=True)
+        assert policy.perf_centric == frozenset()
+        assert all(policy.threshold(n) == pg.power_threshold
+                   for n in range(16))
+
+    def test_custom_threshold_values_flow_through(self, mesh, ring):
+        pg = PowerGateConfig(perf_threshold=2, power_threshold=7)
+        policy = ThresholdPolicy(mesh, ring, pg)
+        assert policy.threshold(5) == 2      # perf-centric
+        assert policy.threshold(0) == 7      # power-centric
+
+    def test_repr_mentions_set(self, mesh, ring):
+        policy = ThresholdPolicy(mesh, ring, PowerGateConfig())
+        assert "perf_centric" in repr(policy)
+
+    def test_larger_mesh_uses_heuristic(self):
+        mesh = Mesh(8, 8)
+        ring = build_ring(mesh)
+        policy = ThresholdPolicy(mesh, ring, PowerGateConfig())
+        assert len(policy.perf_centric) == 24
+        # heuristic picks central routers
+        assert all(1 <= mesh.xy(n)[0] <= 6 for n in policy.perf_centric)

@@ -1,0 +1,182 @@
+"""Traffic generators: synthetic patterns, PARSEC models, traces."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.noc.topology import Mesh
+from repro.traffic.base import (LONG_PACKET_FLITS, SHORT_PACKET_FLITS,
+                                NullTraffic, ScriptedTraffic,
+                                TrafficGenerator)
+from repro.traffic.parsec import (BENCHMARKS, MEMORY_LATENCY, PROFILES,
+                                  ParsecTraffic, make_traffic)
+from repro.traffic.synthetic import (SyntheticTraffic, bit_complement,
+                                     bit_complement_pattern, hotspot_pattern,
+                                     transpose_pattern, uniform_random)
+from repro.traffic.trace import (TraceRecorder, TraceReplay, load_trace,
+                                 save_trace)
+
+
+def drain_rate(gen, cycles=6000):
+    """Measured flits/node/cycle produced by a generator."""
+    flits = 0
+    for cycle in range(cycles):
+        for _, _, length in gen.arrivals(cycle):
+            flits += length
+    return flits / (cycles * gen.num_nodes)
+
+
+class TestBase:
+    def test_rejects_tiny_network(self):
+        with pytest.raises(ValueError):
+            SyntheticTraffic(1, 0.1, lambda s: s)
+
+    def test_null_traffic(self):
+        assert list(NullTraffic().arrivals(0)) == []
+
+    def test_scripted_traffic(self):
+        gen = ScriptedTraffic([(3, 0, 1, 5), (3, 2, 3, 1)])
+        assert list(gen.arrivals(3)) == [(0, 1, 5), (2, 3, 1)]
+        assert list(gen.arrivals(4)) == []
+
+    def test_packet_lengths_bimodal(self):
+        gen = SyntheticTraffic(16, 0.1, lambda s: 0, seed=1)
+        lengths = {gen.packet_length() for _ in range(200)}
+        assert lengths == {SHORT_PACKET_FLITS, LONG_PACKET_FLITS}
+        assert gen.mean_packet_length == 3.0
+
+
+class TestSyntheticRates:
+    @pytest.mark.parametrize("rate", [0.05, 0.2])
+    def test_uniform_random_hits_requested_rate(self, rate):
+        gen = uniform_random(Mesh(4, 4), rate, seed=2)
+        assert drain_rate(gen) == pytest.approx(rate, rel=0.15)
+
+    def test_zero_rate_produces_nothing(self):
+        gen = uniform_random(Mesh(4, 4), 0.0, seed=2)
+        assert drain_rate(gen, 500) == 0.0
+
+    def test_negative_rate_rejected(self):
+        with pytest.raises(ValueError):
+            SyntheticTraffic(16, -0.1, lambda s: s)
+
+    def test_uniform_never_self_addressed(self):
+        gen = uniform_random(Mesh(4, 4), 0.5, seed=3)
+        for cycle in range(300):
+            for src, dst, _ in gen.arrivals(cycle):
+                assert src != dst
+
+
+class TestPatterns:
+    def test_bit_complement(self):
+        mesh = Mesh(4, 4)
+        pattern = bit_complement_pattern(mesh)
+        assert pattern(0) == 15
+        assert pattern(5) == 10
+        assert pattern(15) == 0
+
+    def test_bit_complement_is_involution(self):
+        mesh = Mesh(8, 8)
+        pattern = bit_complement_pattern(mesh)
+        for node in range(64):
+            assert pattern(pattern(node)) == node
+
+    def test_transpose(self):
+        mesh = Mesh(4, 4)
+        pattern = transpose_pattern(mesh)
+        assert pattern(1) == 4   # (1,0) -> (0,1)
+        assert pattern(5) == 5   # diagonal fixed point
+
+    def test_transpose_requires_square(self):
+        with pytest.raises(ValueError):
+            transpose_pattern(Mesh(4, 2))
+
+    def test_hotspot_concentrates_traffic(self):
+        import random
+        rng = random.Random(1)
+        pattern = hotspot_pattern(16, [0], 0.9, rng)
+        hits = sum(1 for _ in range(1000) if pattern(5) == 0)
+        assert hits > 800
+
+    def test_hotspot_fraction_validation(self):
+        import random
+        with pytest.raises(ValueError):
+            hotspot_pattern(16, [0], 1.5, random.Random(1))
+
+
+class TestParsec:
+    def test_all_ten_benchmarks_present(self):
+        assert len(BENCHMARKS) == 10
+        assert "blackscholes" in BENCHMARKS and "x264" in BENCHMARKS
+
+    def test_unknown_benchmark_rejected(self):
+        with pytest.raises(ValueError, match="unknown benchmark"):
+            make_traffic(Mesh(4, 4), "doom")
+
+    def test_rate_ordering_blackscholes_lightest_x264_heaviest(self):
+        rates = {b: PROFILES[b].rate for b in BENCHMARKS}
+        assert min(rates, key=rates.get) == "blackscholes"
+        assert max(rates, key=rates.get) == "x264"
+
+    def test_long_run_rate_close_to_profile(self):
+        gen = make_traffic(Mesh(4, 4), "bodytrack", seed=4)
+        measured = drain_rate(gen, 30000)
+        # replies add ~50% on top of the nominal injection rate
+        assert measured == pytest.approx(
+            PROFILES["bodytrack"].rate, rel=0.75)
+        assert measured > 0
+
+    def test_memory_requests_target_corners_and_reply(self):
+        mesh = Mesh(4, 4)
+        gen = make_traffic(mesh, "canneal", seed=9)
+        corners = set(mesh.corners())
+        replies = 0
+        for cycle in range(4000):
+            for src, dst, length in gen.arrivals(cycle):
+                if src in corners and length == LONG_PACKET_FLITS:
+                    replies += 1
+        assert replies > 0
+
+    def test_sensitivities_in_sane_range(self):
+        for profile in PROFILES.values():
+            assert 0.05 <= profile.sensitivity <= 0.5
+
+    def test_phases_modulate_traffic(self):
+        """During global quiet phases the injection rate collapses."""
+        gen = make_traffic(Mesh(4, 4), "blackscholes", seed=8)
+        active_counts, quiet_counts = [], []
+        for cycle in range(20000):
+            n = len(list(gen.arrivals(cycle)))
+            (active_counts if gen._phase_active else quiet_counts).append(n)
+        assert sum(quiet_counts) / max(1, len(quiet_counts)) < \
+            0.5 * sum(active_counts) / max(1, len(active_counts))
+
+
+class TestTraces:
+    def test_record_replay_identical(self):
+        gen = uniform_random(Mesh(4, 4), 0.2, seed=6)
+        rec = TraceRecorder(gen)
+        original = [list(rec.arrivals(c)) for c in range(200)]
+        replay = TraceReplay(rec.events, 16)
+        replayed = [list(replay.arrivals(c)) for c in range(200)]
+        assert original == replayed
+
+    def test_save_load_roundtrip(self, tmp_path):
+        gen = uniform_random(Mesh(4, 4), 0.3, seed=7)
+        rec = TraceRecorder(gen)
+        for c in range(100):
+            list(rec.arrivals(c))
+        path = tmp_path / "trace.txt"
+        save_trace(rec.events, path)
+        assert load_trace(path) == rec.events
+
+    def test_load_rejects_malformed(self, tmp_path):
+        path = tmp_path / "bad.txt"
+        path.write_text("1 2 3\n")
+        with pytest.raises(ValueError, match="malformed"):
+            load_trace(path)
+
+    def test_load_skips_comments_and_blanks(self, tmp_path):
+        path = tmp_path / "t.txt"
+        path.write_text("# header\n\n5 0 1 1\n")
+        assert load_trace(path) == [(5, 0, 1, 1)]
