@@ -1,7 +1,14 @@
-"""``python -m repro`` entry point."""
+"""``python -m repro`` entry point.
+
+The ``__name__`` guard is load-bearing: ``--jobs N`` spawns worker
+processes (multiprocessing spawn start method), and each worker
+re-imports the parent's main module under the name ``__mp_main__``.
+Without the guard every worker would re-run the CLI recursively.
+"""
 
 import sys
 
 from .cli import main
 
-sys.exit(main())
+if __name__ == "__main__":
+    sys.exit(main())

@@ -2,13 +2,18 @@
 
 Subcommands:
 
-* ``nord run-all [--scale bench] [--seed 1]`` - regenerate every paper
-  table/figure;
+* ``nord run-all [--scale bench] [--seed 1] [--jobs N] [--no-cache]`` -
+  regenerate every paper table/figure;
 * ``nord <experiment>`` - one experiment (``fig8``, ``fig14``, ``area``,
   ...; see ``nord list``);
 * ``nord simulate --design NoRD --traffic uniform --rate 0.1`` - a single
   simulation run with a summary printout;
 * ``nord list`` - list available experiments.
+
+``--jobs N`` fans independent design points across N worker processes;
+the on-disk result cache under ``~/.cache/repro`` (override with
+``REPRO_CACHE_DIR``) makes repeated runs near-instant unless
+``--no-cache`` is given.
 """
 
 from __future__ import annotations
@@ -18,19 +23,30 @@ import sys
 from typing import List, Optional
 
 from .config import Design, NoCConfig, SimConfig
+from .experiments import parallel
 from .experiments.common import SCALES
 from .experiments.runner import EXPERIMENTS, run_all, run_experiment
-from .noc.network import Network
-from .power.model import PowerModel
 from .stats.report import format_table
-from .traffic.parsec import BENCHMARKS, make_traffic
-from .traffic.synthetic import bit_complement, uniform_random
+from .traffic.parsec import BENCHMARKS
+
+
+def _positive_int(text: str) -> int:
+    value = int(text)
+    if value < 1:
+        raise argparse.ArgumentTypeError(f"must be >= 1, got {value}")
+    return value
 
 
 def _add_common(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--scale", choices=sorted(SCALES), default="bench",
                         help="simulation length preset")
     parser.add_argument("--seed", type=int, default=1)
+    parser.add_argument("--jobs", type=_positive_int, default=1, metavar="N",
+                        help="worker processes for design-point sweeps "
+                             "(1 = serial, the default)")
+    parser.add_argument("--no-cache", action="store_true",
+                        help="ignore and do not update the on-disk result "
+                             "cache (see REPRO_CACHE_DIR)")
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -71,15 +87,16 @@ def _simulate(args: argparse.Namespace) -> None:
         drain_cycles=scale.drain,
         seed=args.seed,
     )
-    net = Network(cfg)
     if args.traffic == "uniform":
-        traffic = uniform_random(net.mesh, args.rate, seed=args.seed)
+        spec = parallel.uniform_spec(args.rate, seed=args.seed)
     elif args.traffic == "bitcomp":
-        traffic = bit_complement(net.mesh, args.rate, seed=args.seed)
+        spec = parallel.bitcomp_spec(args.rate, seed=args.seed)
     else:
-        traffic = make_traffic(net.mesh, args.traffic, seed=args.seed)
-    result = net.run(traffic)
-    energy = PowerModel(cfg).evaluate(result)
+        spec = parallel.parsec_spec(args.traffic, seed=args.seed)
+    runner = parallel.configure(jobs=args.jobs,
+                                use_cache=not args.no_cache)
+    result, energy = runner.run_one(
+        parallel.DesignPoint(cfg=cfg, traffic=spec))
     rows = [
         ("design", args.design),
         ("traffic", args.traffic),
@@ -106,11 +123,13 @@ def main(argv: Optional[List[str]] = None) -> int:
             print(f"{name:8s} {description}")
         return 0
     if args.command == "run-all":
-        run_all(args.scale, args.seed)
+        run_all(args.scale, args.seed, jobs=args.jobs,
+                use_cache=not args.no_cache)
         return 0
     if args.command == "simulate":
         _simulate(args)
         return 0
+    parallel.configure(jobs=args.jobs, use_cache=not args.no_cache)
     print(run_experiment(args.command, args.scale, args.seed))
     return 0
 

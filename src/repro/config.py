@@ -21,8 +21,10 @@ self-describing.
 from __future__ import annotations
 
 import dataclasses
+import hashlib
+import json
 from dataclasses import dataclass, field
-from typing import Optional, Tuple
+from typing import Any, Dict, Optional, Tuple
 
 
 class Design:
@@ -177,6 +179,20 @@ class SimConfig:
         """Return a copy with the given fields replaced."""
         return dataclasses.replace(self, **kwargs)
 
+    def to_dict(self) -> Dict[str, Any]:
+        """A plain nested dict of every configuration field."""
+        return dataclasses.asdict(self)
+
+    def fingerprint(self) -> str:
+        """A stable content hash of the full configuration.
+
+        Two configs hash equal iff every field (including nested
+        NoC/power-gating/routing sub-configs) is equal, independent of
+        process, platform or dict ordering.  Used to key the on-disk
+        result cache (:mod:`repro.experiments.parallel`).
+        """
+        return stable_hash(self.to_dict())
+
     @property
     def escape_vcs(self) -> int:
         """Number of escape VCs for this design's routing function."""
@@ -187,6 +203,19 @@ class SimConfig:
     @property
     def adaptive_vcs(self) -> int:
         return self.noc.vcs_per_port - self.escape_vcs
+
+
+def stable_hash(payload: Any) -> str:
+    """SHA-256 of a JSON-serializable payload, independent of key order.
+
+    Every scalar that can appear in a config (int, float, str, bool,
+    None) serializes canonically; anything exotic falls back to ``repr``
+    so hashing never fails, at the cost of the fallback not being
+    guaranteed stable across Python versions.
+    """
+    blob = json.dumps(payload, sort_keys=True, separators=(",", ":"),
+                      default=repr)
+    return hashlib.sha256(blob.encode("utf-8")).hexdigest()
 
 
 def small_config(design: str = Design.NO_PG, *, width: int = 4, height: int = 4,

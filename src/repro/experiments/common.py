@@ -22,8 +22,9 @@ from ..noc.network import Network
 from ..power.model import EnergyReport, PowerModel
 from ..stats.collector import RunResult
 from ..traffic.base import TrafficGenerator
-from ..traffic.parsec import BENCHMARKS, make_traffic
+from ..traffic.parsec import BENCHMARKS
 from ..traffic.synthetic import bit_complement, uniform_random
+from . import parallel
 
 
 @dataclass(frozen=True)
@@ -98,19 +99,30 @@ def parsec_sweep(scale: str = "bench", seed: int = 1, *, width: int = 4,
     """Run (or fetch from cache) the PARSEC benchmark sweep.
 
     Returns ``sweep[benchmark][design] = (RunResult, EnergyReport)``.
+    Missing (benchmark, design) cells are submitted as one batch through
+    the default :class:`repro.experiments.parallel.SweepRunner`, so with
+    ``--jobs N`` the whole sweep fans across worker processes and
+    completed cells come back from the on-disk cache.  Results are also
+    memoized in-process: repeated calls return the same objects.
     """
     key = (scale, seed, width, height)
     sweep = _PARSEC_CACHE.setdefault(key, {})
-    for bench in benchmarks:
-        per_design = sweep.setdefault(bench, {})
-        for design in designs:
-            if design in per_design:
-                continue
-            per_design[design] = run_design(
-                design,
-                lambda net, b=bench: make_traffic(net.mesh, b, seed=seed),
-                scale, width=width, height=height, seed=seed,
+    missing = [(bench, design)
+               for bench in benchmarks
+               for design in designs
+               if design not in sweep.setdefault(bench, {})]
+    if missing:
+        points = [
+            parallel.DesignPoint(
+                cfg=build_config(design, scale, width=width, height=height,
+                                 seed=seed),
+                traffic=parallel.parsec_spec(bench, seed=seed),
             )
+            for bench, design in missing
+        ]
+        for (bench, design), outcome in zip(missing,
+                                            parallel.submit(points)):
+            sweep[bench][design] = outcome
     return sweep
 
 

@@ -16,11 +16,8 @@ from dataclasses import dataclass
 from typing import List
 
 from ..config import Design, NoCConfig, SimConfig
-from ..noc.bufferless import BufferlessNetwork
-from ..noc.network import Network
-from ..power.model import PowerModel
 from ..stats.report import format_table, percent
-from ..traffic.synthetic import uniform_random
+from . import parallel
 from .common import get_scale
 
 RATE = 0.05
@@ -46,19 +43,22 @@ class BufferlessResult:
 
 def run(scale: str = "bench", seed: int = 1) -> BufferlessResult:
     s = get_scale(scale)
-    rows: List[BufferlessRow] = []
-    for label, design in (("No_PG", Design.NO_PG),
-                          ("Bufferless", None),
-                          ("NoRD", Design.NORD)):
+    labels = (("No_PG", Design.NO_PG), ("Bufferless", None),
+              ("NoRD", Design.NORD))
+    design_points = []
+    for _, design in labels:
         cfg = SimConfig(design=design or Design.NO_PG, noc=NoCConfig(),
                         warmup_cycles=s.warmup, measure_cycles=s.measure,
                         drain_cycles=s.drain, seed=seed)
-        if design is None:
-            net = BufferlessNetwork(cfg)
-        else:
-            net = Network(cfg)
-        result = net.run(uniform_random(net.mesh, RATE, seed=seed))
-        energy = PowerModel(cfg).evaluate(result)
+        design_points.append(parallel.DesignPoint(
+            cfg=cfg,
+            traffic=parallel.uniform_spec(RATE, seed=seed),
+            network=(parallel.BUFFERLESS_NETWORK if design is None
+                     else parallel.STANDARD_NETWORK),
+        ))
+    rows: List[BufferlessRow] = []
+    for (label, _), (result, energy) in zip(labels,
+                                            parallel.submit(design_points)):
         rows.append(BufferlessRow(
             label=label,
             latency=result.avg_packet_latency,

@@ -18,10 +18,8 @@ from dataclasses import dataclass
 from typing import Dict, List, Tuple
 
 from ..config import Design, NoCConfig, SimConfig
-from ..noc.network import Network
-from ..power.model import PowerModel
 from ..stats.report import format_table, percent
-from ..traffic.synthetic import uniform_random
+from . import parallel
 from .common import get_scale
 
 RATE = 0.05
@@ -45,20 +43,14 @@ class DiscussionResult:
         return next(r for r in self.rows if r.label == label)
 
 
-def _run(design: str, *, speculative: bool, aggressive: bool, scale: str,
-         seed: int) -> Tuple[float, float, int, float]:
+def _config(design: str, *, speculative: bool, aggressive: bool, scale: str,
+            seed: int) -> SimConfig:
     s = get_scale(scale)
     cfg = SimConfig(design=design, noc=NoCConfig(speculative=speculative),
                     warmup_cycles=s.warmup, measure_cycles=s.measure,
                     drain_cycles=s.drain, seed=seed)
-    cfg = cfg.replace(pg=dataclasses.replace(cfg.pg,
-                                             aggressive_bypass=aggressive))
-    net = Network(cfg)
-    result = net.run(uniform_random(net.mesh, RATE, seed=seed))
-    energy = PowerModel(cfg).evaluate(result)
-    return (result.avg_packet_latency,
-            energy.router_static_j / energy.router_static_nopg_j,
-            result.total_wakeups, result.avg_off_fraction)
+    return cfg.replace(pg=dataclasses.replace(cfg.pg,
+                                              aggressive_bypass=aggressive))
 
 
 def run(scale: str = "bench", seed: int = 1) -> DiscussionResult:
@@ -68,12 +60,21 @@ def run(scale: str = "bench", seed: int = 1) -> DiscussionResult:
         ("NoRD / canonical", Design.NORD, False, False),
         ("NoRD / spec + aggressive", Design.NORD, True, True),
     ]
+    design_points = [
+        parallel.DesignPoint(
+            cfg=_config(design, speculative=spec, aggressive=aggressive,
+                        scale=scale, seed=seed),
+            traffic=parallel.uniform_spec(RATE, seed=seed),
+        )
+        for _, design, spec, aggressive in points
+    ]
     rows = []
-    for label, design, spec, aggressive in points:
-        lat, static, wakeups, off = _run(design, speculative=spec,
-                                         aggressive=aggressive,
-                                         scale=scale, seed=seed)
-        rows.append(OptRow(label, lat, static, wakeups, off))
+    for (label, *_), (result, energy) in zip(points,
+                                             parallel.submit(design_points)):
+        rows.append(OptRow(
+            label, result.avg_packet_latency,
+            energy.router_static_j / energy.router_static_nopg_j,
+            result.total_wakeups, result.avg_off_fraction))
     return DiscussionResult(rows=rows, rate=RATE)
 
 

@@ -16,7 +16,8 @@ from typing import Dict, Tuple
 from ..config import Design
 from ..stats.report import format_table
 from ..traffic.parsec import PROFILES
-from .common import mean, run_design, uniform_factory
+from . import parallel
+from .common import build_config, mean
 
 DESIGNS = (Design.CONV_PG, Design.CONV_PG_OPT, Design.NORD)
 WAKEUP_LATENCIES = (9, 12, 15, 18)
@@ -41,17 +42,17 @@ class Fig13Result:
 
 def run(scale: str = "bench", seed: int = 1,
         wakeup_latencies: Tuple[int, ...] = WAKEUP_LATENCIES) -> Fig13Result:
-    latency: Dict[int, Dict[str, float]] = {}
-    for wl in wakeup_latencies:
-        def configure(cfg, wl=wl):
-            return cfg.replace(pg=dataclasses.replace(cfg.pg,
-                                                      wakeup_latency=wl))
-        latency[wl] = {}
-        for design in DESIGNS:
-            result, _ = run_design(design,
-                                   uniform_factory(PARSEC_AVG_RATE, seed),
-                                   scale, seed=seed, configure=configure)
-            latency[wl][design] = result.avg_packet_latency
+    grid = [(wl, design) for wl in wakeup_latencies for design in DESIGNS]
+    points = []
+    for wl, design in grid:
+        cfg = build_config(design, scale, seed=seed)
+        cfg = cfg.replace(pg=dataclasses.replace(cfg.pg, wakeup_latency=wl))
+        points.append(parallel.DesignPoint(
+            cfg=cfg,
+            traffic=parallel.uniform_spec(PARSEC_AVG_RATE, seed=seed)))
+    latency: Dict[int, Dict[str, float]] = {wl: {} for wl in wakeup_latencies}
+    for (wl, design), (result, _) in zip(grid, parallel.submit(points)):
+        latency[wl][design] = result.avg_packet_latency
     return Fig13Result(latency=latency, rate=PARSEC_AVG_RATE)
 
 

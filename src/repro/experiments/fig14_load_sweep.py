@@ -20,7 +20,8 @@ from typing import Callable, Dict, Tuple
 
 from ..config import Design
 from ..stats.report import format_table
-from .common import run_design, uniform_factory
+from . import parallel
+from .common import build_config
 
 DESIGNS = (Design.NO_PG, Design.CONV_PG_OPT, Design.NORD)
 RATES_16 = (0.02, 0.05, 0.1, 0.15, 0.2, 0.3, 0.4, 0.5)
@@ -55,32 +56,42 @@ class LoadSweepResult:
 
 
 def sweep(designs: Tuple[str, ...], rates: Tuple[float, ...],
-          factory: Callable[[float, int], Callable], *, width: int,
+          spec: Callable[..., "parallel.TrafficSpec"], *, width: int,
           height: int, pattern: str, scale: str, seed: int
           ) -> LoadSweepResult:
-    points: Dict[float, Dict[str, SweepPoint]] = {}
-    for rate in rates:
-        points[rate] = {}
-        for design in designs:
-            result, report_ = run_design(design, factory(rate, seed), scale,
-                                         width=width, height=height,
-                                         seed=seed)
-            delivered = (result.packets_ejected / result.packets_created
-                         if result.packets_created else 1.0)
-            points[rate][design] = SweepPoint(
-                latency=result.avg_packet_latency,
-                power_w=report_.avg_power_w,
-                throughput=result.throughput_flits_per_node_cycle,
-                delivered_fraction=min(1.0, delivered),
-                off_fraction=result.avg_off_fraction,
-            )
+    """Sweep ``rates`` x ``designs`` as one parallel batch.
+
+    ``spec`` builds the traffic specification for one rate (e.g.
+    :func:`repro.experiments.parallel.uniform_spec`).
+    """
+    grid = [(rate, design) for rate in rates for design in designs]
+    design_points = [
+        parallel.DesignPoint(
+            cfg=build_config(design, scale, width=width, height=height,
+                             seed=seed),
+            traffic=spec(rate, seed=seed),
+        )
+        for rate, design in grid
+    ]
+    points: Dict[float, Dict[str, SweepPoint]] = {rate: {} for rate in rates}
+    for (rate, design), (result, report_) in zip(
+            grid, parallel.submit(design_points)):
+        delivered = (result.packets_ejected / result.packets_created
+                     if result.packets_created else 1.0)
+        points[rate][design] = SweepPoint(
+            latency=result.avg_packet_latency,
+            power_w=report_.avg_power_w,
+            throughput=result.throughput_flits_per_node_cycle,
+            delivered_fraction=min(1.0, delivered),
+            off_fraction=result.avg_off_fraction,
+        )
     return LoadSweepResult(points=points, pattern=pattern,
                            num_nodes=width * height)
 
 
 def run(scale: str = "bench", seed: int = 1,
         rates: Tuple[float, ...] = RATES_16) -> LoadSweepResult:
-    return sweep(DESIGNS, rates, uniform_factory, width=4, height=4,
+    return sweep(DESIGNS, rates, parallel.uniform_spec, width=4, height=4,
                  pattern="uniform random", scale=scale, seed=seed)
 
 

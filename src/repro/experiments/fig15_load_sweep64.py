@@ -14,7 +14,7 @@ from typing import Dict, Tuple
 
 from ..config import Design
 from ..stats.report import format_table
-from .common import bit_complement_factory, uniform_factory
+from .parallel import bitcomp_spec, uniform_spec
 from .fig14_load_sweep import DESIGNS, LoadSweepResult, sweep
 
 RATES_UNIFORM = (0.02, 0.05, 0.1, 0.15, 0.2, 0.3)
@@ -30,9 +30,9 @@ class Fig15Result:
 def run(scale: str = "bench", seed: int = 1,
         rates_uniform: Tuple[float, ...] = RATES_UNIFORM,
         rates_bitcomp: Tuple[float, ...] = RATES_BITCOMP) -> Fig15Result:
-    uni = sweep(DESIGNS, rates_uniform, uniform_factory, width=8, height=8,
+    uni = sweep(DESIGNS, rates_uniform, uniform_spec, width=8, height=8,
                 pattern="uniform random", scale=scale, seed=seed)
-    bc = sweep(DESIGNS, rates_bitcomp, bit_complement_factory, width=8,
+    bc = sweep(DESIGNS, rates_bitcomp, bitcomp_spec, width=8,
                height=8, pattern="bit complement", scale=scale, seed=seed)
     return Fig15Result(uniform=uni, bit_complement=bc)
 

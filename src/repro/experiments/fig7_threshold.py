@@ -16,9 +16,9 @@ from dataclasses import dataclass
 from typing import List, Optional, Tuple
 
 from ..config import Design
-from ..powergate.nord import NoRDController
 from ..stats.report import format_table
-from .common import run_design, uniform_factory
+from . import parallel
+from .common import build_config
 
 
 @dataclass
@@ -46,19 +46,19 @@ class Fig7Result:
 RATES = (0.005, 0.01, 0.02, 0.03, 0.04, 0.05, 0.06, 0.07, 0.08, 0.09, 0.10)
 
 
-def _force_all_off(net) -> None:
-    for ctrl in net.controllers:
-        if isinstance(ctrl, NoRDController):
-            ctrl.force_off = True
-
-
 def run(scale: str = "bench", seed: int = 1,
         rates: Tuple[float, ...] = RATES) -> Fig7Result:
+    design_points = [
+        parallel.DesignPoint(
+            cfg=build_config(Design.NORD, scale, seed=seed),
+            traffic=parallel.uniform_spec(rate, seed=seed),
+            prepare="force_all_off",
+        )
+        for rate in rates
+    ]
     points: List[ThresholdPoint] = []
     window = None
-    for rate in rates:
-        result, _ = run_design(Design.NORD, uniform_factory(rate, seed),
-                               scale, seed=seed, prepare=_force_all_off)
+    for rate, (result, _) in zip(rates, parallel.submit(design_points)):
         window = 10
         total_requests = sum(r.ni_vc_requests for r in result.routers)
         per_window = (total_requests * window /

@@ -1,0 +1,390 @@
+"""Parallel sweep execution with an on-disk result cache.
+
+Every paper figure is a sweep over *independent* design points (a
+``SimConfig`` plus a traffic specification), so the experiments are
+embarrassingly parallel by construction.  This module provides the
+shared machinery:
+
+* :class:`TrafficSpec` / :class:`DesignPoint` - declarative, picklable
+  descriptions of one simulation run.  Unlike the closure-based traffic
+  factories they replace, a spec can cross a process boundary and be
+  hashed into a stable cache key;
+* :func:`execute_point` - the spawn-safe worker: builds the network,
+  runs it, evaluates energy;
+* :class:`ResultCache` - a content-addressed cache under
+  ``~/.cache/repro`` (override with ``REPRO_CACHE_DIR``) keyed by a
+  SHA-256 of (config, traffic spec, prepare hook, network kind, code
+  version), storing JSON-serialized ``(RunResult, EnergyReport)`` pairs;
+* :class:`SweepRunner` - fans a batch of design points across worker
+  processes (``multiprocessing`` with the spawn start method), checking
+  the cache first and writing misses back.
+
+Determinism: a design point fully determines its result.  Each worker
+builds its own ``Network`` and traffic generator from the point's seed,
+no state is shared across processes, and results are returned in
+submission order - so serial (``jobs=1``) and parallel (``jobs=N``)
+execution produce identical ``RunResult``s, and a cache hit
+deserializes to a value equal to what a fresh run would compute.
+"""
+
+from __future__ import annotations
+
+import json
+import multiprocessing
+import os
+import tempfile
+from dataclasses import dataclass
+from pathlib import Path
+from typing import (Callable, Dict, List, Optional, Sequence, Tuple)
+
+from ..config import SimConfig, stable_hash
+from ..noc.network import Network
+from ..power.model import EnergyReport, PowerModel
+from ..stats.collector import RunResult
+from ..traffic.base import NullTraffic, TrafficGenerator
+from ..traffic.parsec import make_traffic
+from ..traffic.synthetic import bit_complement, uniform_random
+
+#: Bump when the cache file layout changes; invalidates old entries.
+CACHE_FORMAT = 1
+
+#: ``DesignPoint.network`` value selecting the bufferless datapath
+#: (Section 6.8 discussion) instead of the standard ``Network``.
+BUFFERLESS_NETWORK = "bufferless"
+STANDARD_NETWORK = "standard"
+
+SweepOutcome = Tuple[RunResult, EnergyReport]
+
+
+# ---------------------------------------------------------------------------
+# declarative design points
+# ---------------------------------------------------------------------------
+@dataclass(frozen=True)
+class TrafficSpec:
+    """Picklable description of a traffic generator.
+
+    ``kind`` is one of ``uniform``, ``bitcomp``, ``parsec`` or ``null``;
+    ``rate`` applies to the synthetic kinds, ``benchmark`` to ``parsec``.
+    """
+
+    kind: str
+    rate: float = 0.0
+    benchmark: str = ""
+    seed: int = 1
+
+    def build(self, mesh) -> TrafficGenerator:
+        if self.kind == "uniform":
+            return uniform_random(mesh, self.rate, seed=self.seed)
+        if self.kind == "bitcomp":
+            return bit_complement(mesh, self.rate, seed=self.seed)
+        if self.kind == "parsec":
+            return make_traffic(mesh, self.benchmark, seed=self.seed)
+        if self.kind == "null":
+            return NullTraffic(mesh.num_nodes)
+        raise ValueError(f"unknown traffic kind {self.kind!r}")
+
+    def to_key(self) -> Dict[str, object]:
+        return {"kind": self.kind, "rate": self.rate,
+                "benchmark": self.benchmark, "seed": self.seed}
+
+
+def uniform_spec(rate: float, seed: int = 1) -> TrafficSpec:
+    return TrafficSpec(kind="uniform", rate=rate, seed=seed)
+
+
+def bitcomp_spec(rate: float, seed: int = 1) -> TrafficSpec:
+    return TrafficSpec(kind="bitcomp", rate=rate, seed=seed)
+
+
+def parsec_spec(benchmark: str, seed: int = 1) -> TrafficSpec:
+    return TrafficSpec(kind="parsec", benchmark=benchmark, seed=seed)
+
+
+#: Named network-preparation hooks.  Workers look hooks up by name, so a
+#: hook must be registered here (in a module the worker imports) rather
+#: than passed as a closure.
+PREPARE_HOOKS: Dict[str, Callable[[Network], None]] = {}
+
+
+def register_prepare(name: str):
+    """Decorator registering a spawn-safe network-preparation hook."""
+
+    def deco(fn: Callable[[Network], None]):
+        PREPARE_HOOKS[name] = fn
+        return fn
+
+    return deco
+
+
+@register_prepare("force_all_off")
+def _force_all_off(net: Network) -> None:
+    """Pin every NoRD router off (Figure 7's threshold calibration)."""
+    from ..powergate.nord import NoRDController
+    for ctrl in net.controllers:
+        if isinstance(ctrl, NoRDController):
+            ctrl.force_off = True
+
+
+@dataclass(frozen=True)
+class DesignPoint:
+    """One independent simulation: config + traffic (+ optional hook)."""
+
+    cfg: SimConfig
+    traffic: TrafficSpec
+    #: Name of a :data:`PREPARE_HOOKS` entry run on the fresh network.
+    prepare: Optional[str] = None
+    #: ``standard`` or ``bufferless``.
+    network: str = STANDARD_NETWORK
+
+    def __post_init__(self) -> None:
+        if self.prepare is not None and self.prepare not in PREPARE_HOOKS:
+            raise ValueError(f"unknown prepare hook {self.prepare!r}; "
+                             f"known: {sorted(PREPARE_HOOKS)}")
+        if self.network not in (STANDARD_NETWORK, BUFFERLESS_NETWORK):
+            raise ValueError(f"unknown network kind {self.network!r}")
+
+    def cache_key(self) -> str:
+        """Content hash identifying this point's result on disk."""
+        return stable_hash({
+            "format": CACHE_FORMAT,
+            "code": code_version(),
+            "config": self.cfg.to_dict(),
+            "traffic": self.traffic.to_key(),
+            "prepare": self.prepare,
+            "network": self.network,
+        })
+
+
+def execute_point(point: DesignPoint) -> SweepOutcome:
+    """Run one design point end to end (spawn-safe worker function)."""
+    cfg = point.cfg
+    if point.network == BUFFERLESS_NETWORK:
+        from ..noc.bufferless import BufferlessNetwork
+        net = BufferlessNetwork(cfg)
+    else:
+        net = Network(cfg)
+    if point.prepare is not None:
+        PREPARE_HOOKS[point.prepare](net)
+    traffic = point.traffic.build(net.mesh)
+    result = net.run(traffic)
+    report = PowerModel(cfg).evaluate(result)
+    return result, report
+
+
+# ---------------------------------------------------------------------------
+# code-version fingerprint
+# ---------------------------------------------------------------------------
+_CODE_VERSION: Optional[str] = None
+
+
+def code_version() -> str:
+    """SHA-256 over every ``.py`` source file of the ``repro`` package.
+
+    Any code change invalidates all cached results - simulator results
+    are only reproducible for the exact code that produced them.
+    Computed once per process and memoized.
+    """
+    global _CODE_VERSION
+    if _CODE_VERSION is None:
+        import hashlib
+
+        import repro
+        pkg = Path(repro.__file__).parent
+        digest = hashlib.sha256()
+        for path in sorted(pkg.rglob("*.py")):
+            digest.update(str(path.relative_to(pkg)).encode())
+            digest.update(b"\0")
+            digest.update(path.read_bytes())
+        _CODE_VERSION = digest.hexdigest()
+    return _CODE_VERSION
+
+
+# ---------------------------------------------------------------------------
+# on-disk result cache
+# ---------------------------------------------------------------------------
+def default_cache_dir() -> Path:
+    """``$REPRO_CACHE_DIR``, else ``$XDG_CACHE_HOME/repro``, else
+    ``~/.cache/repro``.  Resolved per call so tests can redirect it."""
+    explicit = os.environ.get("REPRO_CACHE_DIR")
+    if explicit:
+        return Path(explicit)
+    xdg = os.environ.get("XDG_CACHE_HOME")
+    base = Path(xdg) if xdg else Path.home() / ".cache"
+    return base / "repro"
+
+
+class ResultCache:
+    """Content-addressed store of ``(RunResult, EnergyReport)`` pairs.
+
+    One JSON file per design point under the cache directory.  Writes
+    are atomic (temp file + rename) so concurrent runners can share a
+    cache; a corrupt or stale-format file reads as a miss.
+    """
+
+    def __init__(self, directory: Optional[Path] = None) -> None:
+        self._directory = Path(directory) if directory is not None else None
+
+    @property
+    def directory(self) -> Path:
+        return self._directory if self._directory is not None \
+            else default_cache_dir()
+
+    def path_for(self, key: str) -> Path:
+        return self.directory / f"{key}.json"
+
+    def get(self, key: str) -> Optional[SweepOutcome]:
+        path = self.path_for(key)
+        try:
+            data = json.loads(path.read_text())
+        except (OSError, ValueError):
+            return None
+        if data.get("format") != CACHE_FORMAT:
+            return None
+        try:
+            return (RunResult.from_dict(data["result"]),
+                    EnergyReport.from_dict(data["energy"]))
+        except (KeyError, TypeError):
+            return None
+
+    def put(self, key: str, outcome: SweepOutcome) -> None:
+        result, energy = outcome
+        payload = {
+            "format": CACHE_FORMAT,
+            "key": key,
+            "result": result.to_dict(),
+            "energy": energy.to_dict(),
+        }
+        directory = self.directory
+        directory.mkdir(parents=True, exist_ok=True)
+        blob = json.dumps(payload, sort_keys=True, separators=(",", ":"))
+        fd, tmp = tempfile.mkstemp(dir=str(directory), suffix=".tmp")
+        try:
+            with os.fdopen(fd, "w") as fh:
+                fh.write(blob)
+            os.replace(tmp, self.path_for(key))
+        except BaseException:
+            try:
+                os.unlink(tmp)
+            except OSError:
+                pass
+            raise
+
+    def clear(self) -> int:
+        """Delete every cached entry; returns the number removed."""
+        removed = 0
+        directory = self.directory
+        if directory.is_dir():
+            for path in directory.glob("*.json"):
+                try:
+                    path.unlink()
+                    removed += 1
+                except OSError:
+                    pass
+        return removed
+
+
+# ---------------------------------------------------------------------------
+# the sweep runner
+# ---------------------------------------------------------------------------
+@dataclass
+class SweepStats:
+    """Cumulative cache/bookkeeping counters of one runner."""
+
+    hits: int = 0
+    misses: int = 0
+    executed: int = 0
+
+    def snapshot(self) -> Tuple[int, int]:
+        return (self.hits, self.misses)
+
+
+class SweepRunner:
+    """Executes batches of :class:`DesignPoint` with caching + workers.
+
+    ``jobs=1`` (the default) runs in-process and needs no picklability
+    beyond what the cache already requires; ``jobs=N`` fans cache
+    misses across ``N`` spawned worker processes.  Results always come
+    back in submission order.
+    """
+
+    def __init__(self, jobs: int = 1, use_cache: bool = True,
+                 cache: Optional[ResultCache] = None) -> None:
+        if jobs < 1:
+            raise ValueError("jobs must be >= 1")
+        self.jobs = jobs
+        self.use_cache = use_cache
+        self.cache = cache if cache is not None else ResultCache()
+        self.stats = SweepStats()
+
+    def run(self, points: Sequence[DesignPoint]) -> List[SweepOutcome]:
+        points = list(points)
+        outcomes: List[Optional[SweepOutcome]] = [None] * len(points)
+        miss_indices: List[int] = []
+        keys: List[Optional[str]] = [None] * len(points)
+        for i, point in enumerate(points):
+            if self.use_cache:
+                keys[i] = point.cache_key()
+                cached = self.cache.get(keys[i])
+                if cached is not None:
+                    outcomes[i] = cached
+                    self.stats.hits += 1
+                    continue
+                self.stats.misses += 1
+            else:
+                self.stats.misses += 1
+            miss_indices.append(i)
+        fresh = self._execute([points[i] for i in miss_indices])
+        for i, outcome in zip(miss_indices, fresh):
+            outcomes[i] = outcome
+            if self.use_cache and keys[i] is not None:
+                self.cache.put(keys[i], outcome)
+        self.stats.executed += len(miss_indices)
+        return outcomes  # type: ignore[return-value]
+
+    def run_one(self, point: DesignPoint) -> SweepOutcome:
+        return self.run([point])[0]
+
+    def _execute(self, points: List[DesignPoint]) -> List[SweepOutcome]:
+        if not points:
+            return []
+        workers = min(self.jobs, len(points))
+        if workers <= 1:
+            return [execute_point(p) for p in points]
+        # Spawn (not fork): workers re-import repro from scratch, so the
+        # parent's in-process caches and module state cannot leak in and
+        # results match a fresh serial run bit for bit.
+        ctx = multiprocessing.get_context("spawn")
+        with ctx.Pool(processes=workers) as pool:
+            return pool.map(execute_point, points, chunksize=1)
+
+
+# ---------------------------------------------------------------------------
+# process-wide default runner (configured by the CLI / run-all)
+# ---------------------------------------------------------------------------
+_default_runner: Optional[SweepRunner] = None
+
+
+def get_runner() -> SweepRunner:
+    """The process-wide runner the figure experiments submit through."""
+    global _default_runner
+    if _default_runner is None:
+        _default_runner = SweepRunner()
+    return _default_runner
+
+
+def configure(jobs: Optional[int] = None,
+              use_cache: Optional[bool] = None) -> SweepRunner:
+    """Adjust the default runner (e.g. from ``--jobs`` / ``--no-cache``)."""
+    runner = get_runner()
+    if jobs is not None:
+        if jobs < 1:
+            raise ValueError("jobs must be >= 1")
+        runner.jobs = jobs
+    if use_cache is not None:
+        runner.use_cache = use_cache
+    return runner
+
+
+def submit(points: Sequence[DesignPoint]) -> List[SweepOutcome]:
+    """Run a batch of design points through the default runner."""
+    return get_runner().run(points)

@@ -8,8 +8,9 @@ figure of the paper in sequence; individual experiments are available as
 from __future__ import annotations
 
 import time
-from typing import Callable, Dict, Tuple
+from typing import Callable, Dict, Optional, Tuple
 
+from . import parallel
 from . import (area_overhead, discussion_bufferless,
                discussion_optimizations, fig1_static_power,
                fig3_idle_periods, fig6_placement, fig7_threshold,
@@ -52,10 +53,28 @@ def run_experiment(name: str, scale: str = "bench", seed: int = 1) -> str:
 
 
 def run_all(scale: str = "bench", seed: int = 1, *,
+            jobs: Optional[int] = None, use_cache: Optional[bool] = None,
             echo: Callable[[str], None] = print) -> None:
-    """Run every experiment, echoing each report with timing."""
+    """Run every experiment, echoing each report with timing.
+
+    ``jobs``/``use_cache`` configure the process-wide
+    :class:`repro.experiments.parallel.SweepRunner` that the figure
+    experiments submit their design points through; each experiment's
+    footer reports its wall-clock time plus how many design points were
+    served from the on-disk result cache.
+    """
+    runner = parallel.configure(jobs=jobs, use_cache=use_cache)
+    total_start = time.perf_counter()
     for name, (module, description) in EXPERIMENTS.items():
-        start = time.time()
+        start = time.perf_counter()
+        hits0, misses0 = runner.stats.snapshot()
         echo(f"\n### {name}: {description}")
         echo(run_experiment(name, scale, seed))
-        echo(f"[{name} took {time.time() - start:.1f}s]")
+        hits, misses = runner.stats.snapshot()
+        elapsed = time.perf_counter() - start
+        echo(f"[{name} took {elapsed:.1f}s; cache: {hits - hits0} hits, "
+             f"{misses - misses0} misses]")
+    hits, misses = runner.stats.snapshot()
+    echo(f"\n[run-all took {time.perf_counter() - total_start:.1f}s with "
+         f"jobs={runner.jobs}; cache: {hits} hits, {misses} misses"
+         f"{'' if runner.use_cache else ' (cache disabled)'}]")

@@ -105,6 +105,9 @@ class Network:
         self._wu_now: Set[int] = set()
         self._outstanding = 0  # flits injected but not yet sunk
         self._last_progress = 0
+        #: Stall cycles tolerated before aborting with deadlock
+        #: diagnostics; tests lower it to trip the path quickly.
+        self.deadlock_limit = DEADLOCK_LIMIT
 
     def _make_controller(self, node: int,
                          policy):
@@ -483,11 +486,36 @@ class Network:
             self.stats.on_cycle_idle_state(node, router.empty)
 
     def _check_deadlock(self, now: int) -> None:
-        if self._outstanding > 0 and now - self._last_progress > DEADLOCK_LIMIT:
-            raise RuntimeError(
-                f"no flit movement for {DEADLOCK_LIMIT} cycles at cycle "
-                f"{now} with {self._outstanding} flits outstanding "
-                f"(design={self.cfg.design}): possible deadlock")
+        if self._outstanding > 0 and now - self._last_progress > self.deadlock_limit:
+            raise RuntimeError(self._deadlock_message(now))
+
+    def _deadlock_message(self, now: int) -> str:
+        """An actionable abort message: where the stuck flits sit and in
+        which power states, instead of a silent hang."""
+        stuck: List[str] = []
+        for node, router in enumerate(self.routers):
+            buffered = sum(len(vc.fifo) for port in router.in_ports
+                           for vc in port.vcs)
+            latched = sum(len(q) for q in self.nis[node].latch)
+            queued = len(self.nis[node].inject_queue)
+            if buffered or latched or queued:
+                state = self.controllers[node].state.name \
+                    if hasattr(self.controllers[node].state, "name") \
+                    else str(self.controllers[node].state)
+                stuck.append(f"  router {node} [{state}]: "
+                             f"{buffered} buffered, {latched} latched, "
+                             f"{queued} awaiting injection")
+        detail = "\n".join(stuck) if stuck else \
+            "  (all flits in flight on links/delay lines)"
+        return (
+            f"no flit movement for {self.deadlock_limit} cycles at cycle "
+            f"{now} with {self._outstanding} flits outstanding "
+            f"(design={self.cfg.design}): possible deadlock.\n"
+            f"Flit locations:\n{detail}\n"
+            f"Check escape-VC assignment (config.escape_vcs), power-gating "
+            f"handshakes, and credit accounting; rerun with a smaller "
+            f"mesh/scale to bisect, or raise Network.deadlock_limit if the "
+            f"workload legitimately stalls this long.")
 
     @property
     def outstanding_flits(self) -> int:

@@ -17,8 +17,9 @@ The model follows the paper's accounting (Sections 5.1, 6.2-6.4):
 
 from __future__ import annotations
 
+import dataclasses
 from dataclasses import dataclass, field
-from typing import Dict, Optional
+from typing import Any, Dict, Optional
 
 from ..config import Design, SimConfig
 from ..stats.collector import RunResult
@@ -74,6 +75,14 @@ class EnergyReport:
             "link_dynamic": self.link_dynamic_j,
             "pg_overhead": self.pg_overhead_j,
         }
+
+    def to_dict(self) -> Dict[str, Any]:
+        """JSON-serializable form (exact: floats round-trip via repr)."""
+        return dataclasses.asdict(self)
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, Any]) -> "EnergyReport":
+        return cls(**data)
 
 
 class PowerModel:

@@ -9,8 +9,9 @@ per power state); :mod:`repro.power.energy` turns counts into joules.
 
 from __future__ import annotations
 
+import dataclasses
 from dataclasses import dataclass, field
-from typing import TYPE_CHECKING, Dict, List, Optional
+from typing import TYPE_CHECKING, Any, Dict, List, Optional
 
 if TYPE_CHECKING:  # pragma: no cover - avoids a package import cycle
     from ..noc.flit import Packet
@@ -45,6 +46,13 @@ class RouterActivity:
     def off_fraction(self) -> float:
         total = self.total_cycles
         return self.cycles_off / total if total else 0.0
+
+    def to_dict(self) -> Dict[str, Any]:
+        return dataclasses.asdict(self)
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, Any]) -> "RouterActivity":
+        return cls(**data)
 
 
 @dataclass
@@ -113,6 +121,28 @@ class RunResult:
         from .idle import IdlePeriodStats  # local import, no cycle
 
         return IdlePeriodStats.from_histogram(self.idle_periods, bet)
+
+    # -- serialization (on-disk result cache) ------------------------------
+    def to_dict(self) -> Dict[str, Any]:
+        """A JSON-safe dict; inverse of :meth:`from_dict`.
+
+        ``idle_periods`` keys become strings (JSON objects only have
+        string keys) and are restored to ints on load.
+        """
+        data = dataclasses.asdict(self)
+        data["idle_periods"] = {str(k): v
+                                for k, v in self.idle_periods.items()}
+        return data
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, Any]) -> "RunResult":
+        data = dict(data)
+        data["routers"] = [RouterActivity.from_dict(r)
+                           for r in data.get("routers", [])]
+        data["idle_periods"] = {int(k): v
+                                for k, v in data.get("idle_periods",
+                                                     {}).items()}
+        return cls(**data)
 
 
 class StatsCollector:

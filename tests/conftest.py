@@ -1,0 +1,23 @@
+"""Shared test configuration.
+
+Redirects the on-disk result cache (:mod:`repro.experiments.parallel`)
+into a per-session temporary directory so tests never read from or
+write to the user's real ``~/.cache/repro``, while still exercising
+cache hits within one test session.
+"""
+
+import os
+
+import pytest
+
+
+@pytest.fixture(autouse=True, scope="session")
+def _isolated_result_cache(tmp_path_factory):
+    old = os.environ.get("REPRO_CACHE_DIR")
+    os.environ["REPRO_CACHE_DIR"] = str(
+        tmp_path_factory.mktemp("repro-result-cache"))
+    yield
+    if old is None:
+        os.environ.pop("REPRO_CACHE_DIR", None)
+    else:
+        os.environ["REPRO_CACHE_DIR"] = old

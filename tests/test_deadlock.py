@@ -1,0 +1,70 @@
+"""Regression: a wedged network aborts with diagnostics, never hangs.
+
+``Network`` declares a deadlock after ``deadlock_limit`` cycles without
+flit movement while flits are outstanding.  The abort must carry an
+actionable message (where the stuck flits sit, what to check) instead
+of spinning forever.
+"""
+
+import pytest
+
+from repro.config import Design, SimConfig
+from repro.noc.network import DEADLOCK_LIMIT, Network
+from repro.traffic.base import NullTraffic, ScriptedTraffic
+
+
+def wedged_network(limit=150):
+    """A network whose packet can never make progress: every mesh output
+    port is marked gated (as if all neighbors were off with no bypass),
+    so switch allocation starves forever."""
+    cfg = SimConfig(design=Design.NO_PG, warmup_cycles=0,
+                    measure_cycles=50, drain_cycles=10_000, seed=1)
+    net = Network(cfg)
+    net.deadlock_limit = limit
+    for router in net.routers:
+        for port in router.out_ports:
+            port.gated = True
+    return net
+
+
+class TestDeadlockAbort:
+    def test_default_limit_wired(self):
+        net = Network(SimConfig(design=Design.NO_PG))
+        assert net.deadlock_limit == DEADLOCK_LIMIT
+
+    def test_wedged_run_aborts_with_diagnostics(self):
+        net = wedged_network(limit=150)
+        traffic = ScriptedTraffic([(0, 0, 5, 1)], num_nodes=16)
+        with pytest.raises(RuntimeError) as excinfo:
+            net.run(traffic)
+        message = str(excinfo.value)
+        assert "possible deadlock" in message
+        assert "Flit locations" in message
+        assert "1 flits outstanding" in message
+        # points at something to do, not just "it broke"
+        assert "escape-VC" in message and "deadlock_limit" in message
+        # aborted promptly after the limit, not after the full drain
+        assert net.now < 50 + 150 + 50
+
+    def test_abort_names_the_stuck_router(self):
+        net = wedged_network(limit=120)
+        with pytest.raises(RuntimeError) as excinfo:
+            net.run(ScriptedTraffic([(0, 3, 7, 1)], num_nodes=16))
+        assert "router" in str(excinfo.value)
+
+    def test_quiet_network_never_trips(self):
+        """No outstanding flits -> no deadlock, however long it idles."""
+        net = Network(SimConfig(design=Design.NO_PG, warmup_cycles=0,
+                                measure_cycles=10, drain_cycles=0))
+        net.deadlock_limit = 3
+        net.run(NullTraffic(16), warmup=0, measure=10, drain=0)
+        for _ in range(20):
+            net.step()  # must not raise
+
+    def test_raising_limit_defers_the_abort(self):
+        net = wedged_network(limit=10_000)
+        traffic = ScriptedTraffic([(0, 0, 5, 1)], num_nodes=16)
+        for _ in range(200):
+            net._inject_arrivals(traffic)
+            net.step()  # under the limit: no abort yet
+        assert net.outstanding_flits > 0

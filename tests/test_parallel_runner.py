@@ -1,0 +1,242 @@
+"""The parallel sweep runner and its on-disk result cache.
+
+Covers the determinism contract (serial == parallel == cached), the
+cache key (stable, sensitive to every ingredient), serialization
+round-trips, and the CLI/run-all plumbing.
+"""
+
+import dataclasses
+import json
+
+import pytest
+
+from repro.config import Design, SimConfig, stable_hash
+from repro.experiments import parallel
+from repro.experiments.common import build_config
+from repro.experiments.parallel import (DesignPoint, ResultCache,
+                                        SweepRunner, TrafficSpec,
+                                        bitcomp_spec, code_version,
+                                        execute_point, parsec_spec,
+                                        uniform_spec)
+from repro.power.model import EnergyReport
+from repro.stats.collector import RouterActivity, RunResult
+
+
+def smoke_points(designs=(Design.NO_PG, Design.NORD), rate=0.05, seed=1):
+    return [DesignPoint(cfg=build_config(d, "smoke", seed=seed),
+                        traffic=uniform_spec(rate, seed=seed))
+            for d in designs]
+
+
+def result_blob(outcome):
+    """Canonical bytes of one (RunResult, EnergyReport) outcome."""
+    result, energy = outcome
+    return json.dumps([result.to_dict(), energy.to_dict()],
+                      sort_keys=True).encode()
+
+
+# ---------------------------------------------------------------------------
+# specs and design points
+# ---------------------------------------------------------------------------
+class TestTrafficSpec:
+    def test_builds_each_kind(self):
+        from repro.noc.topology import Mesh
+        mesh = Mesh(4, 4)
+        assert uniform_spec(0.1).build(mesh).rate == 0.1
+        assert bitcomp_spec(0.2).build(mesh).rate == 0.2
+        assert parsec_spec("x264").build(mesh).profile.name == "x264"
+        assert list(TrafficSpec(kind="null").build(mesh).arrivals(0)) == []
+
+    def test_rejects_unknown_kind(self):
+        from repro.noc.topology import Mesh
+        with pytest.raises(ValueError, match="unknown traffic kind"):
+            TrafficSpec(kind="chaos").build(Mesh(4, 4))
+
+    def test_specs_are_picklable(self):
+        import pickle
+        spec = parsec_spec("canneal", seed=7)
+        assert pickle.loads(pickle.dumps(spec)) == spec
+
+
+class TestDesignPoint:
+    def test_rejects_unknown_prepare_hook(self):
+        with pytest.raises(ValueError, match="unknown prepare hook"):
+            DesignPoint(cfg=SimConfig(), traffic=uniform_spec(0.1),
+                        prepare="definitely_not_registered")
+
+    def test_rejects_unknown_network(self):
+        with pytest.raises(ValueError, match="unknown network"):
+            DesignPoint(cfg=SimConfig(), traffic=uniform_spec(0.1),
+                        network="quantum")
+
+    def test_cache_key_stable_and_sensitive(self):
+        p = smoke_points()[0]
+        assert p.cache_key() == p.cache_key()
+        # every ingredient must perturb the key
+        variants = [
+            dataclasses.replace(p, cfg=p.cfg.replace(seed=2)),
+            dataclasses.replace(p, traffic=uniform_spec(0.06)),
+            dataclasses.replace(p, prepare="force_all_off"),
+            dataclasses.replace(p, network=parallel.BUFFERLESS_NETWORK),
+        ]
+        keys = {p.cache_key()} | {v.cache_key() for v in variants}
+        assert len(keys) == len(variants) + 1
+
+    def test_cache_key_tracks_code_version(self, monkeypatch):
+        p = smoke_points()[0]
+        before = p.cache_key()
+        monkeypatch.setattr(parallel, "_CODE_VERSION", "something-else")
+        assert p.cache_key() != before
+
+
+class TestFingerprints:
+    def test_config_fingerprint_stable(self):
+        a = SimConfig(design=Design.NORD, seed=3)
+        b = SimConfig(design=Design.NORD, seed=3)
+        assert a.fingerprint() == b.fingerprint()
+        assert a.fingerprint() != a.replace(seed=4).fingerprint()
+
+    def test_stable_hash_ignores_key_order(self):
+        assert stable_hash({"a": 1, "b": 2}) == stable_hash({"b": 2, "a": 1})
+
+    def test_code_version_is_memoized_hex(self):
+        v = code_version()
+        assert v == code_version()
+        assert len(v) == 64 and int(v, 16) >= 0
+
+
+# ---------------------------------------------------------------------------
+# serialization round-trips
+# ---------------------------------------------------------------------------
+class TestSerialization:
+    def test_run_result_roundtrip(self):
+        result, energy = execute_point(smoke_points()[0])
+        clone = RunResult.from_dict(
+            json.loads(json.dumps(result.to_dict())))
+        assert clone == result
+        assert clone.idle_periods == result.idle_periods
+        assert all(isinstance(k, int) for k in clone.idle_periods)
+        assert clone.routers and isinstance(clone.routers[0],
+                                            RouterActivity)
+
+    def test_energy_report_roundtrip(self):
+        _, energy = execute_point(smoke_points()[0])
+        clone = EnergyReport.from_dict(
+            json.loads(json.dumps(energy.to_dict())))
+        assert clone == energy
+        assert clone.total_j == energy.total_j
+
+
+# ---------------------------------------------------------------------------
+# the result cache
+# ---------------------------------------------------------------------------
+class TestResultCache:
+    def test_miss_then_hit_byte_identical(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        point = smoke_points()[0]
+        key = point.cache_key()
+        assert cache.get(key) is None
+        outcome = execute_point(point)
+        cache.put(key, outcome)
+        loaded = cache.get(key)
+        assert loaded is not None
+        assert result_blob(loaded) == result_blob(outcome)
+
+    def test_corrupt_entry_reads_as_miss(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        cache.path_for("bad").parent.mkdir(parents=True, exist_ok=True)
+        cache.path_for("bad").write_text("{not json")
+        assert cache.get("bad") is None
+
+    def test_stale_format_reads_as_miss(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        cache.directory.mkdir(parents=True, exist_ok=True)
+        cache.path_for("old").write_text(json.dumps({"format": -1}))
+        assert cache.get("old") is None
+
+    def test_clear(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        point = smoke_points()[0]
+        cache.put(point.cache_key(), execute_point(point))
+        assert cache.clear() == 1
+        assert cache.get(point.cache_key()) is None
+
+    def test_env_var_overrides_directory(self, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "elsewhere"))
+        assert ResultCache().directory == tmp_path / "elsewhere"
+
+    def test_explicit_directory_wins_over_env(self, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "env"))
+        assert ResultCache(tmp_path / "mine").directory == tmp_path / "mine"
+
+
+# ---------------------------------------------------------------------------
+# determinism: serial == parallel == cached
+# ---------------------------------------------------------------------------
+class TestDeterminism:
+    def test_serial_and_parallel_identical(self, tmp_path):
+        """--jobs 1 and --jobs 4 produce identical RunResults."""
+        points = smoke_points(designs=(Design.CONV_PG, Design.NORD))
+        serial = SweepRunner(jobs=1, use_cache=False).run(points)
+        parallel_out = SweepRunner(jobs=4, use_cache=False).run(points)
+        for a, b in zip(serial, parallel_out):
+            assert result_blob(a) == result_blob(b)
+
+    def test_cache_hit_equals_cache_miss(self, tmp_path):
+        points = smoke_points(designs=(Design.CONV_PG_OPT,))
+        runner = SweepRunner(jobs=1, cache=ResultCache(tmp_path))
+        first = runner.run(points)
+        assert runner.stats.snapshot() == (0, 1)
+        second = runner.run(points)
+        assert runner.stats.snapshot() == (1, 1)
+        assert result_blob(first[0]) == result_blob(second[0])
+
+    def test_results_in_submission_order(self, tmp_path):
+        points = smoke_points(designs=(Design.NO_PG, Design.CONV_PG,
+                                       Design.NORD))
+        out = SweepRunner(jobs=1, cache=ResultCache(tmp_path)).run(points)
+        assert [r.design for r, _ in out] == [Design.NO_PG, Design.CONV_PG,
+                                              Design.NORD]
+
+    def test_prepare_hook_survives_the_runner(self, tmp_path):
+        """force_all_off must apply in the worker, not just in-process."""
+        point = DesignPoint(cfg=build_config(Design.NORD, "smoke"),
+                            traffic=uniform_spec(0.02),
+                            prepare="force_all_off")
+        result, _ = SweepRunner(jobs=1, use_cache=False).run_one(point)
+        assert result.avg_off_fraction > 0.9
+
+
+class TestSweepRunner:
+    def test_rejects_bad_jobs(self):
+        with pytest.raises(ValueError):
+            SweepRunner(jobs=0)
+        with pytest.raises(ValueError):
+            parallel.configure(jobs=0)
+
+    def test_no_cache_mode_skips_disk(self, tmp_path):
+        runner = SweepRunner(jobs=1, use_cache=False,
+                             cache=ResultCache(tmp_path))
+        runner.run(smoke_points(designs=(Design.NO_PG,)))
+        assert not list(tmp_path.glob("*.json"))
+
+    def test_empty_batch(self):
+        assert SweepRunner(jobs=1).run([]) == []
+
+    def test_configure_adjusts_default_runner(self):
+        runner = parallel.get_runner()
+        old_jobs, old_cache = runner.jobs, runner.use_cache
+        try:
+            assert parallel.configure(jobs=3, use_cache=False) is runner
+            assert runner.jobs == 3 and runner.use_cache is False
+        finally:
+            parallel.configure(jobs=old_jobs, use_cache=old_cache)
+
+    def test_bufferless_network_kind(self, tmp_path):
+        point = DesignPoint(cfg=build_config(Design.NO_PG, "smoke"),
+                            traffic=uniform_spec(0.05),
+                            network=parallel.BUFFERLESS_NETWORK)
+        result, energy = SweepRunner(
+            jobs=1, cache=ResultCache(tmp_path)).run_one(point)
+        assert result.design == "Bufferless"
+        assert energy.design == "Bufferless"
