@@ -8,8 +8,14 @@ compared against the paper side by side.
 """
 
 import os
+import sys
+from pathlib import Path
 
 import pytest
+
+_SRC = str(Path(__file__).resolve().parent.parent / "src")
+if _SRC not in sys.path:
+    sys.path.insert(0, _SRC)
 
 SCALE = os.environ.get("REPRO_SCALE", "bench")
 SEED = int(os.environ.get("REPRO_SEED", "1"))

@@ -24,6 +24,7 @@ from typing import List, Optional
 
 from .config import Design, NoCConfig, SimConfig
 from .experiments import parallel
+from .noc import activity
 from .experiments.common import SCALES
 from .experiments.runner import EXPERIMENTS, run_all, run_experiment
 from .stats.report import format_table
@@ -47,6 +48,9 @@ def _add_common(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--no-cache", action="store_true",
                         help="ignore and do not update the on-disk result "
                              "cache (see REPRO_CACHE_DIR)")
+    parser.add_argument("--profile", action="store_true",
+                        help="report per-phase cycle-kernel timing and "
+                             "active-set occupancy after the run")
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -122,15 +126,21 @@ def main(argv: Optional[List[str]] = None) -> int:
         for name, (_, description) in EXPERIMENTS.items():
             print(f"{name:8s} {description}")
         return 0
+    if getattr(args, "profile", False):
+        activity.enable_profiling()
     if args.command == "run-all":
         run_all(args.scale, args.seed, jobs=args.jobs,
                 use_cache=not args.no_cache)
         return 0
     if args.command == "simulate":
         _simulate(args)
+        if activity.profiling_enabled():
+            print(activity.global_profile().summary())
         return 0
     parallel.configure(jobs=args.jobs, use_cache=not args.no_cache)
     print(run_experiment(args.command, args.scale, args.seed))
+    if activity.profiling_enabled():
+        print(activity.global_profile().summary())
     return 0
 
 

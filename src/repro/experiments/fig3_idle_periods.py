@@ -14,7 +14,6 @@ from dataclasses import dataclass
 from typing import Dict, List
 
 from ..config import Design, PowerGateConfig
-from ..stats.idle import IdlePeriodStats
 from ..stats.report import format_table, percent
 from ..traffic.parsec import BENCHMARKS
 from .common import mean, parsec_sweep
@@ -49,7 +48,7 @@ def run(scale: str = "bench", seed: int = 1) -> Fig3Result:
     rows: List[IdleRow] = []
     for bench in BENCHMARKS:
         result, _ = sweep[bench][Design.NO_PG]
-        stats = IdlePeriodStats.from_histogram(result.idle_periods, bet)
+        stats = result.idle_period_stats(bet)
         rows.append(IdleRow(
             benchmark=bench,
             idle_fraction=result.avg_idle_fraction,

@@ -10,6 +10,7 @@ from __future__ import annotations
 import time
 from typing import Callable, Dict, Optional, Tuple
 
+from ..noc import activity
 from . import parallel
 from . import (area_overhead, discussion_bufferless,
                discussion_optimizations, fig1_static_power,
@@ -78,3 +79,5 @@ def run_all(scale: str = "bench", seed: int = 1, *,
     echo(f"\n[run-all took {time.perf_counter() - total_start:.1f}s with "
          f"jobs={runner.jobs}; cache: {hits} hits, {misses} misses"
          f"{'' if runner.use_cache else ' (cache disabled)'}]")
+    if activity.profiling_enabled():
+        echo(activity.global_profile().summary())

@@ -29,8 +29,13 @@ class RoundRobinArbiter:
         """
         if len(requests) != self.size:
             raise ValueError("request vector size mismatch")
-        for offset in range(1, self.size + 1):
-            idx = (self._last + offset) % self.size
+        # Scan last+1..end then 0..last: the same rotating order as the
+        # modular walk, without a modulo per probe.
+        for idx in range(self._last + 1, self.size):
+            if requests[idx]:
+                self._last = idx
+                return idx
+        for idx in range(self._last + 1):
             if requests[idx]:
                 self._last = idx
                 return idx
@@ -38,6 +43,13 @@ class RoundRobinArbiter:
 
     def grant_from(self, candidates: Iterable[int]) -> Optional[int]:
         """Grant among an iterable of candidate indices."""
+        if isinstance(candidates, list) and len(candidates) == 1:
+            # A lone candidate always wins and becomes the new rotation
+            # point - exactly what the dense scan would conclude.
+            idx = candidates[0]
+            if 0 <= idx < self.size:
+                self._last = idx
+                return idx
         requests = [False] * self.size
         any_req = False
         for c in candidates:

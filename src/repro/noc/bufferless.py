@@ -217,6 +217,7 @@ class BufferlessNetwork:
             flits_ejected=s.flits_ejected,
             link_flits=end[2] - start[2],
             idle_periods=dict(s.idle_periods),
+            censored_idle_periods=dict(s.censored_idle_periods),
         )
         for node in range(self.mesh.num_nodes):
             activity = RouterActivity(

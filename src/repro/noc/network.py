@@ -17,10 +17,35 @@ transitions (Section 4.3): tagging neighbor output ports, clamping the ring
 predecessor's credits to the single bypass-latch slot, restarting upstream
 pipelines from RC, and the per-VC hand-over between bypass latches and
 input buffers when a router wakes up.
+
+Quiescence-aware kernel
+-----------------------
+
+Routers sit idle 30-70% of the time (Section 3.2) - the very sparsity
+power-gating exploits - so by default each phase iterates an *activity set*
+(components that can make progress this cycle) instead of every component:
+
+* routers with occupied input buffers,
+* links/delay-lines with deliveries in flight,
+* NIs with queued or latched flits,
+* PG controllers that are ON/WAKING or have a pending wake stimulus
+  (OFF controllers with no WU edge and - for NoRD - a fully-drained
+  VC-request window only accrue ``cycles_off``).
+
+The sets are updated on event edges (flit launch, credit return, traffic
+injection, power transitions), each skipped component is provably a no-op
+for the skipped phase, and active members are visited in ascending key
+order - the same relative order as the dense scan - so results are
+byte-identical to the full kernel.  ``Network(cfg, skip_inactive=False)``
+or the ``REPRO_NO_SKIP=1`` environment variable force the dense scans
+(the escape hatch the equivalence tests and the CI smoke-diff use), and
+:mod:`repro.noc.activity` provides the ``--profile`` instrumentation.
 """
 
 from __future__ import annotations
 
+import os
+from time import perf_counter
 from typing import Dict, List, Optional, Set, Tuple
 
 from ..config import Design, SimConfig
@@ -33,6 +58,8 @@ from ..powergate.nord import NoRDController
 from ..routing.adaptive import AdaptiveXYEscape
 from ..routing.ring_escape import NoRDRouting
 from ..stats.collector import RouterActivity, RunResult, StatsCollector
+from . import activity
+from .activity import ActiveSet
 from .flit import Flit, Packet
 from .link import DelayLine, Link
 from .ni import NetworkInterface
@@ -49,10 +76,17 @@ INJECT_DELAY = 1
 DEADLOCK_LIMIT = 5_000
 
 
+def _skip_disabled_by_env() -> bool:
+    """True when REPRO_NO_SKIP requests the dense (non-skipping) kernel."""
+    return os.environ.get("REPRO_NO_SKIP", "").strip().lower() in (
+        "1", "true", "yes", "on")
+
+
 class Network:
     """A complete simulated NoC for one design point."""
 
-    def __init__(self, cfg: SimConfig, threshold_policy=None) -> None:
+    def __init__(self, cfg: SimConfig, threshold_policy=None, *,
+                 skip_inactive: Optional[bool] = None) -> None:
         self.cfg = cfg
         self.mesh = Mesh(cfg.noc.width, cfg.noc.height)
         self.now = 0
@@ -68,6 +102,22 @@ class Network:
                 self.mesh,
                 cfg.routing.resolved_misroute_cap(cfg.noc.width,
                                                   cfg.noc.height))
+        # Activity sets must exist before components that call back into
+        # the network (Router.deliver notes buffer fills immediately).
+        if skip_inactive is None:
+            skip_inactive = not _skip_disabled_by_env()
+        self.skip_inactive = bool(skip_inactive)
+        self._active_credit_links: ActiveSet = ActiveSet()  # (node, port)
+        self._active_flit_links: ActiveSet = ActiveSet()    # (node, port)
+        self._active_inject: ActiveSet = ActiveSet()        # node
+        self._active_eject: ActiveSet = ActiveSet()         # node
+        self._active_nis: ActiveSet = ActiveSet()           # node
+        self._active_routers: ActiveSet = ActiveSet()       # node
+        self._pg_active: ActiveSet = ActiveSet()            # node
+        self._pg_quiescent: ActiveSet = ActiveSet()         # node
+        self._ni_marks: Set[int] = set()
+        self._profile = (activity.global_profile()
+                         if activity.profiling_enabled() else None)
         self.routers: List[Router] = [
             Router(node, cfg, self.mesh, self)
             for node in range(self.mesh.num_nodes)
@@ -93,6 +143,8 @@ class Network:
             for port, nbr in self.mesh.neighbors(node):
                 row[port] = Link(node, port, nbr, OPPOSITE[port], LINK_DELAY)
             self.links_out.append(row)
+        self._num_links = sum(1 for row in self.links_out
+                              for link in row if link is not None)
         self.inject_lines: List[DelayLine] = [
             DelayLine(INJECT_DELAY) for _ in range(self.mesh.num_nodes)
         ]
@@ -100,6 +152,13 @@ class Network:
             DelayLine(LINK_DELAY) for _ in range(self.mesh.num_nodes)
         ]
         self.stats = StatsCollector(cfg.design, self.mesh.num_nodes)
+        for node in range(self.mesh.num_nodes):
+            # Every router starts empty: the idle-edge tracker opens a run
+            # at cycle 0 (clipped to the measurement window when recorded).
+            self.stats.note_idle(node, 0)
+            self._pg_active.add(node)
+        #: Last idleness value delivered to the stats collector, per node.
+        self._idle_state: List[bool] = [True] * self.mesh.num_nodes
         self.n_link_flits = 0
         self.early_wakeup = cfg.design == Design.CONV_PG_OPT
         self._wu_now: Set[int] = set()
@@ -166,6 +225,7 @@ class Network:
         self._last_progress = now
         if out_port == LOCAL:
             self.eject_lines[node].send((flit, out_vc), now)
+            self._active_eject.add(node)
             return
         link = self.links_out[node][out_port]
         if link is None:
@@ -174,6 +234,7 @@ class Network:
             link.flits.send((flit, out_vc), now - 1)
         else:
             link.flits.send((flit, out_vc), now)
+        self._active_flit_links.add((node, out_port))
         self.n_link_flits += 1
         if flit.is_head:
             flit.packet.hops += 1
@@ -182,6 +243,7 @@ class Network:
                     now: int) -> None:
         self._last_progress = now
         self.inject_lines[node].send((flit, out_vc), now)
+        self._active_inject.add(node)
 
     def credit_upstream(self, node: int, in_port: int, vc: int,
                         now: int) -> None:
@@ -192,6 +254,7 @@ class Network:
         upstream = self.mesh.neighbor(node, in_port)
         link = self.links_out[upstream][OPPOSITE[in_port]]
         link.credits.send(vc, now)
+        self._active_credit_links.add((upstream, OPPOSITE[in_port]))
 
     def release_upstream_owner(self, node: int, in_port: int,
                                vc: int) -> None:
@@ -225,6 +288,23 @@ class Network:
         if isinstance(ctrl, NoRDController):
             ctrl.note_vc_request(attempted, stalled)
 
+    def note_ni_latched(self, node: int) -> None:
+        """Event hook from :meth:`NetworkInterface.latch_write`: the NI
+        holds a bypass-latched flit and must run until it drains."""
+        self._active_nis.add(node)
+
+    def note_router_filled(self, node: int) -> None:
+        """Event hook from :meth:`Router.deliver`: the router's input
+        buffers are no longer empty, so its pipeline (and idle-state
+        tracking) must run."""
+        self._active_routers.add(node)
+
+    def mark_ni_port_used(self, node: int, port: int) -> None:
+        """An NI bypass move claimed a physical output port this cycle
+        (SA must not double-book it; cleared at the next NI phase)."""
+        self.routers[node].ports_used_by_ni.add(port)
+        self._ni_marks.add(node)
+
     def finish_lingering(self, node: int, vc: int) -> None:
         """A mid-bypass packet finished after wakeup: restore the ring
         predecessor's credits for this VC to the full buffer depth."""
@@ -242,6 +322,7 @@ class Network:
                       klass: int = 0) -> Packet:
         pkt = Packet(src, dst, length, self.now, klass)
         self.nis[src].enqueue_packet(pkt)
+        self._active_nis.add(src)
         self._outstanding += length
         self.stats.on_packet_created(pkt)
         return pkt
@@ -250,7 +331,63 @@ class Network:
         """Advance the network by one cycle."""
         self.now += 1
         now = self.now
-        # Phase 2: credit delivery.
+        if self._profile is not None:
+            self._step_profiled(now)
+        elif self.skip_inactive:
+            self._phase_credits_active(now)
+            self._phase_nis_active(now)
+            self._phase_routers_active(now)
+            self._phase_links_active(now)
+            self._phase_pg_active(now)
+            self._phase_stats_active(now)
+        else:
+            self._phase_credits_full(now)
+            self._phase_nis_full(now)
+            self._phase_routers_full(now)
+            self._phase_links_full(now)
+            self._phase_pg_full(now)
+            self._phase_stats_full(now)
+        self._check_deadlock(now)
+
+    def _step_profiled(self, now: int) -> None:
+        """One cycle with per-phase wall-clock + occupancy accounting."""
+        prof = self._profile
+        prof.cycles += 1
+        n = self.mesh.num_nodes
+        links = self._num_links
+        if self.skip_inactive:
+            phases = (
+                ("credit", self._phase_credits_active,
+                 len(self._active_credit_links), links),
+                ("ni", self._phase_nis_active, len(self._active_nis), n),
+                ("router", self._phase_routers_active,
+                 len(self._active_routers), n),
+                ("link", self._phase_links_active,
+                 len(self._active_flit_links) + len(self._active_inject)
+                 + len(self._active_eject), links + 2 * n),
+                ("pg", self._phase_pg_active, len(self._pg_active), n),
+                ("stats", self._phase_stats_active,
+                 len(self._active_routers), n),
+            )
+        else:
+            phases = (
+                ("credit", self._phase_credits_full, links, links),
+                ("ni", self._phase_nis_full, n, n),
+                ("router", self._phase_routers_full, n, n),
+                ("link", self._phase_links_full, links + 2 * n,
+                 links + 2 * n),
+                ("pg", self._phase_pg_full, n, n),
+                ("stats", self._phase_stats_full, n, n),
+            )
+        for name, fn, occupied, capacity in phases:
+            t0 = perf_counter()
+            fn(now)
+            prof.note_phase(name, perf_counter() - t0, occupied, capacity)
+
+    # ------------------------------------------------------------------
+    # phase 2: credit delivery
+    # ------------------------------------------------------------------
+    def _phase_credits_full(self, now: int) -> None:
         for row in self.links_out:
             for link in row:
                 if link is None or link.credits.empty:
@@ -258,16 +395,52 @@ class Network:
                 out = self.routers[link.src].out_ports[link.src_port]
                 for vc in link.credits.receive(now):
                     out.credit[vc].restore()
-        # Phase 3: NIs.
+
+    def _phase_credits_active(self, now: int) -> None:
+        active = self._active_credit_links
+        links_out = self.links_out
+        routers = self.routers
+        for key in active.sorted():
+            node, port = key
+            link = links_out[node][port]
+            out = routers[node].out_ports[port]
+            for vc in link.credits.receive(now):
+                out.credit[vc].restore()
+            if link.credits.empty:
+                active.discard(key)
+
+    # ------------------------------------------------------------------
+    # phase 3: network interfaces
+    # ------------------------------------------------------------------
+    def _phase_nis_full(self, now: int) -> None:
         for router in self.routers:
             router.ports_used_by_ni.clear()
+        self._ni_marks.clear()
         for ni in self.nis:
             ni.process(now)
-        # Phase 4: router pipelines (only powered-on routers).  The
-        # canonical router evaluates SA -> VA -> RC so a flit advances one
-        # stage per cycle; the speculative 2-stage pipeline (Section 6.8)
-        # ripples RC -> VA -> SA within a cycle, succeeding in one router
-        # cycle when arbitration does not push back.
+
+    def _phase_nis_active(self, now: int) -> None:
+        if self._ni_marks:
+            for node in self._ni_marks:
+                self.routers[node].ports_used_by_ni.clear()
+            self._ni_marks.clear()
+        active = self._active_nis
+        for node in active.sorted():
+            ni = self.nis[node]
+            ni.process(now)
+            if not ni.inject_queue and ni.latches_empty:
+                # No queued or latched flit left: process() is a pure
+                # no-op until inject_packet()/latch_write() re-adds us.
+                active.discard(node)
+
+    # ------------------------------------------------------------------
+    # phase 4: router pipelines (only powered-on routers).  The canonical
+    # router evaluates SA -> VA -> RC so a flit advances one stage per
+    # cycle; the speculative 2-stage pipeline (Section 6.8) ripples
+    # RC -> VA -> SA within a cycle, succeeding in one router cycle when
+    # arbitration does not push back.
+    # ------------------------------------------------------------------
+    def _phase_routers_full(self, now: int) -> None:
         speculative = self.cfg.noc.speculative
         for node, router in enumerate(self.routers):
             if self.router_on(node):
@@ -279,20 +452,35 @@ class Network:
                     router.stage_sa(now)
                     router.stage_va(now)
                     router.stage_rc(now)
-        # Phase 5: flit delivery.
-        self._deliver_flits(now)
-        # Phase 6: power gating.
-        if self.cfg.design != Design.NO_PG:
-            self._power_gate_phase()
-        else:
-            for ctrl in self.controllers:
-                ctrl.cycles_on += 1
-        # Phase 7: statistics.
-        self._stats_phase()
-        self._check_deadlock(now)
 
-    def _deliver_flits(self, now: int) -> None:
-        design = self.cfg.design
+    def _phase_routers_active(self, now: int) -> None:
+        # Empty routers (all VCs idle) run every stage as a pure no-op,
+        # so only buffer-occupied routers are visited; demotion happens
+        # in the stats phase, after the cycle's deliveries landed.  The
+        # stages additionally scan only the occupied VCs - IDLE VCs fail
+        # every stage's eligibility test, so narrowing the scan cannot
+        # change the outcome.
+        speculative = self.cfg.noc.speculative
+        routers = self.routers
+        controllers = self.controllers
+        on = PowerState.ON
+        for node in self._active_routers.sorted():
+            if controllers[node].state == on:
+                router = routers[node]
+                occ = router.occupied_vcs
+                if speculative:
+                    router.stage_rc(now, occ)
+                    router.stage_va(now, occ)
+                    router.stage_sa(now, occ)
+                else:
+                    router.stage_sa(now, occ)
+                    router.stage_va(now, occ)
+                    router.stage_rc(now, occ)
+
+    # ------------------------------------------------------------------
+    # phase 5: flit delivery
+    # ------------------------------------------------------------------
+    def _phase_links_full(self, now: int) -> None:
         for row in self.links_out:
             for link in row:
                 if link is None or link.flits.empty:
@@ -303,24 +491,54 @@ class Network:
             if line.empty:
                 continue
             for flit, vc in line.receive(now):
-                if not self.router_on(node):
-                    raise RuntimeError(
-                        f"injected flit delivered to off router {node}")
-                self.routers[node].deliver(LOCAL, vc, flit)
+                self._deliver_inject(node, vc, flit)
         for node, line in enumerate(self.eject_lines):
             if line.empty:
                 continue
             for flit, vc in line.receive(now):
-                self.nis[node].n_ejected_flits += 1
-                if flit.is_tail:
-                    self.routers[node].out_ports[LOCAL].vc_owner[vc] = None
-                self.sink_flit(node, flit, now, via_bypass=False)
+                self._deliver_eject(node, vc, flit, now)
+
+    def _phase_links_active(self, now: int) -> None:
+        flit_links = self._active_flit_links
+        for key in flit_links.sorted():
+            link = self.links_out[key[0]][key[1]]
+            for flit, vc in link.flits.receive(now):
+                self._deliver(link.dst, link.dst_port, vc, flit)
+            if link.flits.empty:
+                flit_links.discard(key)
+        inject = self._active_inject
+        for node in inject.sorted():
+            line = self.inject_lines[node]
+            for flit, vc in line.receive(now):
+                self._deliver_inject(node, vc, flit)
+            if line.empty:
+                inject.discard(node)
+        eject = self._active_eject
+        for node in eject.sorted():
+            line = self.eject_lines[node]
+            for flit, vc in line.receive(now):
+                self._deliver_eject(node, vc, flit, now)
+            if line.empty:
+                eject.discard(node)
+
+    def _deliver_inject(self, node: int, vc: int, flit: Flit) -> None:
+        if not self.router_on(node):
+            raise RuntimeError(
+                f"injected flit delivered to off router {node}")
+        self.routers[node].deliver(LOCAL, vc, flit)
+
+    def _deliver_eject(self, node: int, vc: int, flit: Flit,
+                       now: int) -> None:
+        self.nis[node].n_ejected_flits += 1
+        if flit.is_tail:
+            self.routers[node].out_ports[LOCAL].vc_owner[vc] = None
+        self.sink_flit(node, flit, now, via_bypass=False)
 
     def _deliver(self, node: int, in_port: int, vc: int, flit: Flit) -> None:
         ni = self.nis[node]
         if (self.ring is not None and in_port == self.ring.inport[node]
                 and (not self.router_on(node) or vc in ni.lingering)):
-            ni.latch_write(vc, flit)
+            ni.latch_write(vc, flit)  # re-activates the NI via its hook
             return
         if not self.router_on(node):
             raise RuntimeError(
@@ -329,8 +547,22 @@ class Network:
         self.routers[node].deliver(in_port, vc, flit)
 
     # ------------------------------------------------------------------
-    # power-gating phase
+    # phase 6: power gating
     # ------------------------------------------------------------------
+    def _phase_pg_full(self, now: int) -> None:
+        if self.cfg.design == Design.NO_PG:
+            for ctrl in self.controllers:
+                ctrl.cycles_on += 1
+            return
+        self._power_gate_phase()
+
+    def _phase_pg_active(self, now: int) -> None:
+        if self.cfg.design == Design.NO_PG:
+            for ctrl in self.controllers:
+                ctrl.cycles_on += 1
+            return
+        self._power_gate_phase_active()
+
     def _power_gate_phase(self) -> None:
         design = self.cfg.design
         events: List[Tuple[int, str]] = []
@@ -341,6 +573,58 @@ class Network:
                 events.append((node, event))
             if isinstance(ctrl, NoRDController):
                 ctrl.end_cycle()
+        self._apply_pg_events(events, design)
+
+    def _power_gate_phase_active(self) -> None:
+        design = self.cfg.design
+        quiescent = self._pg_quiescent
+        active = self._pg_active
+        if quiescent:
+            # Re-check every skipped controller against this cycle's
+            # stimuli (WU edges, pending injection, the NoRD VC-request
+            # window) - all are set before phase 6 runs.  This sweep also
+            # self-heals after tests force controller states directly.
+            promoted = [node for node in quiescent
+                        if not self._pg_skippable(node, design)]
+            for node in promoted:
+                quiescent.discard(node)
+                active.add(node)
+            for node in quiescent:
+                # Exactly what a full step would do for a stimulus-free
+                # OFF controller: accrue one gated cycle.
+                self.controllers[node].cycles_off += 1
+        events: List[Tuple[int, str]] = []
+        demoted: List[int] = []
+        for node in active.sorted():
+            ctrl = self.controllers[node]
+            inputs = self._gate_inputs(node, design)
+            event = ctrl.step(inputs)
+            if event is not None:
+                events.append((node, event))
+            if isinstance(ctrl, NoRDController):
+                ctrl.end_cycle()
+            if self._pg_skippable(node, design):
+                demoted.append(node)
+        for node in demoted:
+            active.discard(node)
+            quiescent.add(node)
+        self._apply_pg_events(events, design)
+
+    def _pg_skippable(self, node: int, design: str) -> bool:
+        """Whether stepping this controller next cycle is provably a
+        no-op beyond ``cycles_off`` accounting."""
+        ctrl = self.controllers[node]
+        if ctrl.state != PowerState.OFF:
+            return False
+        if design == Design.NORD:
+            # A non-empty sliding window still decays via end_cycle(),
+            # and could cross the wakeup threshold; skip only when fully
+            # drained (at most ``wakeup_window`` extra active cycles).
+            return ctrl.window_requests == 0
+        return node not in self._wu_now and not self.nis[node].inject_pending
+
+    def _apply_pg_events(self, events: List[Tuple[int, str]],
+                         design: str) -> None:
         for node, event in events:
             if event == Transition.GATED_OFF:
                 if design == Design.NORD:
@@ -477,13 +761,48 @@ class Network:
             raise RuntimeError("negative credits after power transition")
 
     # ------------------------------------------------------------------
-    # statistics / liveness
+    # phase 7: statistics / liveness
     # ------------------------------------------------------------------
-    def _stats_phase(self) -> None:
+    def _phase_stats_full(self, now: int) -> None:
         if not self.stats.measuring:
             return
+        stats = self.stats
+        state = self._idle_state
         for node, router in enumerate(self.routers):
-            self.stats.on_cycle_idle_state(node, router.empty)
+            idle = router.empty
+            if idle != state[node]:
+                state[node] = idle
+                if idle:
+                    stats.note_idle(node, now)
+                else:
+                    stats.note_busy(node, now)
+
+    def _phase_stats_active(self, now: int) -> None:
+        # A router outside the active set is empty (every buffer fill
+        # re-adds it), so only active routers can show an idle-state edge.
+        # This phase is also where empty routers leave the set - after
+        # phase 5's deliveries, so a same-cycle refill keeps them active.
+        active = self._active_routers
+        routers = self.routers
+        if self.stats.measuring:
+            stats = self.stats
+            state = self._idle_state
+            for node in active.sorted():
+                idle = routers[node].empty
+                if idle != state[node]:
+                    state[node] = idle
+                    if idle:
+                        stats.note_idle(node, now)
+                    else:
+                        stats.note_busy(node, now)
+                if idle:
+                    active.discard(node)
+        else:
+            for node in active.sorted():
+                if routers[node].empty:
+                    active.discard(node)
+                    self._idle_state[node] = True
+                    self.stats.note_idle(node, now)
 
     def _check_deadlock(self, now: int) -> None:
         if self._outstanding > 0 and now - self._last_progress > self.deadlock_limit:
@@ -590,6 +909,7 @@ class Network:
             flits_ejected=s.flits_ejected,
             link_flits=end["link_flits"] - start["link_flits"],
             idle_periods=dict(s.idle_periods),
+            censored_idle_periods=dict(s.censored_idle_periods),
         )
         fields = ("cycles_on", "cycles_off", "cycles_waking", "wakeups",
                   "gate_offs", "buffer_writes", "buffer_reads",

@@ -97,6 +97,7 @@ class NetworkInterface:
                 f"node {self.node}: bypass latch {vc_id} overflow")
         self.latch[vc_id].append(flit)
         self.n_latch_writes += 1
+        self.network.note_ni_latched(self.node)
 
     @property
     def latches_empty(self) -> bool:
@@ -277,7 +278,7 @@ class NetworkInterface:
                 self.network.finish_lingering(self.node, vc_id)
         self.n_bypass_forwards += 1
         if self.network.router_on(self.node):
-            self.network.router(self.node).ports_used_by_ni.add(ring_port)
+            self.network.mark_ni_port_used(self.node, ring_port)
         self.network.send_flit(self.node, ring_port, flit, out_vc, now,
                                fast=fast)
 
@@ -366,7 +367,7 @@ class NetworkInterface:
                     pkt.misroutes += 1
             out.credit[out_vc].consume()
             if self.network.router_on(self.node):
-                self.network.router(self.node).ports_used_by_ni.add(ring_port)
+                self.network.mark_ni_port_used(self.node, ring_port)
             self.network.send_flit(self.node, ring_port, flit, out_vc, now)
         self.inj_sent += 1
         self.n_injected_flits += 1

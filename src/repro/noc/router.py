@@ -16,6 +16,7 @@ controllers.
 
 from __future__ import annotations
 
+from bisect import insort
 from typing import TYPE_CHECKING, Dict, List, Optional, Tuple
 
 from ..config import SimConfig
@@ -70,6 +71,14 @@ class Router:
         #: Output ports already used by NI bypass forwarding this cycle
         #: (a lingering bypass VC shares the physical port with SA).
         self.ports_used_by_ni: set = set()
+        #: Per input port, ascending ids of the VCs whose state is not
+        #: IDLE - the only VCs a pipeline stage can affect.  The
+        #: quiescence-aware kernel passes these to the stages so a busy
+        #: router only scans the VCs that hold packets; the dense
+        #: reference kernel scans every VC.
+        self.occupied_vcs: List[List[int]] = [[] for _ in range(NUM_PORTS)]
+        self._all_vcs: List[List[int]] = [list(range(vcs))
+                                          for _ in range(NUM_PORTS)]
 
     # ------------------------------------------------------------------
     # views used by routing functions
@@ -86,12 +95,13 @@ class Router:
     # ------------------------------------------------------------------
     @property
     def empty(self) -> bool:
-        """True when no packet holds any input VC (gating precondition)."""
-        for port in self.in_ports:
-            for vc in port.vcs:
-                if vc.state != VCState.IDLE or vc.fifo:
-                    return False
-        return True
+        """True when no packet holds any input VC (gating precondition).
+
+        Flits only enter a VC through :meth:`deliver`, which leaves IDLE
+        on the first flit, so "every VC is IDLE" is exactly "no fifo
+        holds a flit" - tracked incrementally in ``occupied_vcs``.
+        """
+        return not any(self.occupied_vcs)
 
     def occupancy(self) -> int:
         return sum(port.occupancy() for port in self.in_ports)
@@ -101,23 +111,39 @@ class Router:
         vc = self.in_ports[in_port].vcs[vc_id]
         vc.push(flit)
         self.n_buffer_writes += 1
+        self.network.note_router_filled(self.node)
         if vc.state == VCState.IDLE:
             if not flit.is_head:
                 raise RuntimeError(
                     f"router {self.node}: body flit arrived on idle VC "
                     f"({in_port},{vc_id}): wormhole ordering violated")
             vc.state = VCState.ROUTING
+            insort(self.occupied_vcs[in_port], vc_id)
 
     # ------------------------------------------------------------------
     # pipeline stages (invoked by the network each cycle, SA -> VA -> RC)
     # ------------------------------------------------------------------
-    def stage_sa(self, now: int) -> None:
-        """Switch allocation + switch traversal launch."""
+    def stage_sa(self, now: int,
+                 occupied: Optional[List[List[int]]] = None) -> None:
+        """Switch allocation + switch traversal launch.
+
+        ``occupied`` narrows the scan to the given per-port VC ids
+        (normally :attr:`occupied_vcs`); skipped VCs are IDLE, which no
+        eligibility test accepts, so the result is identical to the
+        dense default scan.
+        """
+        occ = self._all_vcs if occupied is None else occupied
         # Input-first: each input port nominates one eligible VC.
-        nominees: List[Optional[VirtualChannel]] = [None] * NUM_PORTS
+        nominees: Optional[List[Optional[VirtualChannel]]] = None
+        n_nominated = 0
+        last_nominated = -1
         for p, port in enumerate(self.in_ports):
+            vids = occ[p]
+            if not vids:
+                continue
             eligible = []
-            for vc in port.vcs:
+            for v in vids:
+                vc = port.vcs[v]
                 if vc.state != VCState.ACTIVE or not vc.fifo:
                     continue
                 route = vc.route_port
@@ -141,7 +167,20 @@ class Router:
                 eligible.append(vc.vc_id)
             choice = self._sa_in_arb[p].grant_from(eligible)
             if choice is not None:
+                if nominees is None:
+                    nominees = [None] * NUM_PORTS
                 nominees[p] = port.vcs[choice]
+                n_nominated += 1
+                last_nominated = p
+        if nominees is None:
+            return
+        if n_nominated == 1:
+            # One nominee means no output contention: it wins its output
+            # arbitration unopposed (the grant still rotates priority).
+            vc = nominees[last_nominated]
+            self._sa_out_arb[vc.route_port].grant_from([last_nominated])
+            self._traverse(vc, last_nominated, now)
+            return
         # Output arbitration among nominated input ports.
         by_output: List[List[int]] = [[] for _ in range(NUM_PORTS)]
         for p, vc in enumerate(nominees):
@@ -177,17 +216,22 @@ class Router:
                 raise RuntimeError("flits behind a tail in an allocated VC")
             vc.reset_route()
             vc.state = VCState.IDLE
+            self.occupied_vcs[in_port].remove(vc.vc_id)
 
-    def stage_va(self, now: int) -> None:
+    def stage_va(self, now: int,
+                 occupied: Optional[List[List[int]]] = None) -> None:
         """VC allocation for VCs that completed route computation."""
+        occ = self._all_vcs if occupied is None else occupied
         vcs_per_port = self.cfg.noc.vcs_per_port
         escape_vcs = self.cfg.escape_vcs
-        requests: List[List[int]] = [[] for _ in range(NUM_PORTS * vcs_per_port)]
+        # requests is allocated lazily: most cycles no VC is in WAITING_VA.
+        requests: Optional[List[List[int]]] = None
         # candidate preference per requester: list of (resource, is_escape, port)
         prefs: Dict[int, List[Tuple[int, bool, int]]] = {}
         waiting: Dict[int, VirtualChannel] = {}
         for p, port in enumerate(self.in_ports):
-            for vc in port.vcs:
+            for v in occ[p]:
+                vc = port.vcs[v]
                 if vc.state != VCState.WAITING_VA:
                     continue
                 rid = p * vcs_per_port + vc.vc_id
@@ -195,6 +239,8 @@ class Router:
                 if not cands:
                     vc.va_wait += 1
                     continue
+                if requests is None:
+                    requests = [[] for _ in range(NUM_PORTS * vcs_per_port)]
                 waiting[rid] = vc
                 prefs[rid] = cands
                 for res, _, _ in cands:
@@ -266,11 +312,14 @@ class Router:
             elif not routing.is_minimal(self.node, port, pkt.dst):
                 pkt.misroutes += 1
 
-    def stage_rc(self, now: int) -> None:
+    def stage_rc(self, now: int,
+                 occupied: Optional[List[List[int]]] = None) -> None:
         """Route computation for newly arrived head flits."""
+        occ = self._all_vcs if occupied is None else occupied
         routing = self.network.routing
-        for port in self.in_ports:
-            for vc in port.vcs:
+        for p, port in enumerate(self.in_ports):
+            for v in occ[p]:
+                vc = port.vcs[v]
                 if vc.state != VCState.ROUTING:
                     continue
                 head = vc.fifo[0]

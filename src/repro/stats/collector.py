@@ -74,7 +74,12 @@ class RunResult:
     link_flits: int = 0
     routers: List[RouterActivity] = field(default_factory=list)
     #: Histogram of idle-period lengths over all routers: length -> count.
+    #: Only *completed* periods (the router went busy again in-window).
     idle_periods: Dict[int, int] = field(default_factory=dict)
+    #: Periods truncated by the measurement window (still idle when it
+    #: closed).  Kept separate: their true length is unknown, so folding
+    #: them into ``idle_periods`` would bias Fig. 3's short_fraction.
+    censored_idle_periods: Dict[int, int] = field(default_factory=dict)
 
     # -- aggregate metrics -------------------------------------------------
     @property
@@ -120,7 +125,8 @@ class RunResult:
     def idle_period_stats(self, bet: int) -> "IdlePeriodStats":
         from .idle import IdlePeriodStats  # local import, no cycle
 
-        return IdlePeriodStats.from_histogram(self.idle_periods, bet)
+        return IdlePeriodStats.from_histogram(
+            self.idle_periods, bet, censored=self.censored_idle_periods)
 
     # -- serialization (on-disk result cache) ------------------------------
     def to_dict(self) -> Dict[str, Any]:
@@ -132,6 +138,8 @@ class RunResult:
         data = dataclasses.asdict(self)
         data["idle_periods"] = {str(k): v
                                 for k, v in self.idle_periods.items()}
+        data["censored_idle_periods"] = {
+            str(k): v for k, v in self.censored_idle_periods.items()}
         return data
 
     @classmethod
@@ -142,6 +150,9 @@ class RunResult:
         data["idle_periods"] = {int(k): v
                                 for k, v in data.get("idle_periods",
                                                      {}).items()}
+        data["censored_idle_periods"] = {
+            int(k): v
+            for k, v in data.get("censored_idle_periods", {}).items()}
         return cls(**data)
 
 
@@ -163,9 +174,16 @@ class StatsCollector:
         self.total_bypass_hops = 0
         self.total_wakeup_stalls = 0
         self.flits_ejected = 0
-        # idle tracking
+        # Idle tracking.  Two producer APIs feed the same histograms:
+        # the edge API (note_idle/note_busy, used by the buffered
+        # Network's cycle kernel) and the legacy per-cycle API
+        # (on_cycle_idle_state, used by the bufferless baseline).  A
+        # collector instance only ever sees one of them.
         self._idle_run = [0] * num_nodes
+        self._idle_begin: List[Optional[int]] = [None] * num_nodes
         self.idle_periods: Dict[int, int] = {}
+        #: Window-truncated idle runs: length-so-far -> count.
+        self.censored_idle_periods: Dict[int, int] = {}
         self.idle_cycles = [0] * num_nodes
 
     # -- window control ----------------------------------------------------
@@ -177,7 +195,24 @@ class StatsCollector:
         self.measuring = False
         self.measure_end = now
         for node in range(self.num_nodes):
-            self._flush_idle(node)
+            # Routers still idle when the window closes contribute a
+            # *censored* period: its true length is unknown, so it must
+            # not enter the completed-period histogram (it would record
+            # e.g. an always-idle router as one window-length period and
+            # bias short_fraction downward).
+            run = self._idle_run[node]  # legacy per-cycle producer
+            if run > 0:
+                self._idle_run[node] = 0
+                self.censored_idle_periods[run] = \
+                    self.censored_idle_periods.get(run, 0) + 1
+            begin = self._idle_begin[node]  # edge producer
+            if begin is not None and self.measure_start is not None:
+                start = max(begin, self.measure_start + 1)
+                run = now - start + 1
+                if run > 0:
+                    self.censored_idle_periods[run] = \
+                        self.censored_idle_periods.get(run, 0) + 1
+                    self.idle_cycles[node] += run
 
     def in_window(self, cycle: Optional[int]) -> bool:
         if cycle is None or self.measure_start is None:
@@ -203,6 +238,31 @@ class StatsCollector:
             self.total_misroutes += packet.misroutes
             self.total_bypass_hops += packet.bypass_hops
             self.total_wakeup_stalls += packet.wakeup_stall_cycles
+
+    def note_idle(self, node: int, cycle: int) -> None:
+        """Edge API: the router's datapath emptied at ``cycle`` (or was
+        empty at construction, ``cycle`` 0).  Opens an idle run; safe to
+        call redundantly while a run is already open."""
+        if self._idle_begin[node] is None:
+            self._idle_begin[node] = cycle
+
+    def note_busy(self, node: int, cycle: int) -> None:
+        """Edge API: the router's datapath became occupied at ``cycle``.
+
+        Closes the open idle run.  The run is clipped to the measurement
+        window (runs opened before it started begin at
+        ``measure_start + 1``, the first observed cycle), so pre-window
+        history never leaks into the histogram.
+        """
+        begin = self._idle_begin[node]
+        self._idle_begin[node] = None
+        if begin is None or not self.measuring:
+            return
+        start = max(begin, self.measure_start + 1)
+        run = cycle - start
+        if run > 0:
+            self.idle_periods[run] = self.idle_periods.get(run, 0) + 1
+            self.idle_cycles[node] += run
 
     def on_cycle_idle_state(self, node: int, idle: bool) -> None:
         """Track idle-period lengths (only within the measurement window)."""

@@ -14,12 +14,21 @@ summary statistics.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Tuple
+from typing import Dict, List, Optional, Tuple
 
 
 @dataclass(frozen=True)
 class IdlePeriodStats:
-    """Summary of a router idle-period length distribution."""
+    """Summary of a router idle-period length distribution.
+
+    Only *completed* periods (the router went busy again inside the
+    measurement window) enter ``num_periods``/``short_fraction``.
+    Periods truncated by the window's end are *censored* - their true
+    length is unknown, only a lower bound - and are tallied separately
+    so they cannot bias the length distribution (a router idle across
+    the whole window would otherwise masquerade as one window-length
+    period and drag ``short_fraction`` down).
+    """
 
     num_periods: int
     total_idle_cycles: int
@@ -28,10 +37,15 @@ class IdlePeriodStats:
     #: Idle cycles contained in short (<= BET) periods.
     short_idle_cycles: int
     bet: int
+    #: Window-truncated periods (length is a lower bound only).
+    censored_periods: int = 0
+    #: Idle cycles contained in censored periods.
+    censored_idle_cycles: int = 0
 
     @classmethod
-    def from_histogram(cls, histogram: Dict[int, int],
-                       bet: int) -> "IdlePeriodStats":
+    def from_histogram(cls, histogram: Dict[int, int], bet: int,
+                       censored: Optional[Dict[int, int]] = None
+                       ) -> "IdlePeriodStats":
         num = sum(histogram.values())
         total = sum(length * count for length, count in histogram.items())
         short = sum(count for length, count in histogram.items()
@@ -39,13 +53,19 @@ class IdlePeriodStats:
         short_cycles = sum(length * count
                            for length, count in histogram.items()
                            if length <= bet)
+        censored = censored or {}
         return cls(num_periods=num, total_idle_cycles=total,
                    short_periods=short, short_idle_cycles=short_cycles,
-                   bet=bet)
+                   bet=bet,
+                   censored_periods=sum(censored.values()),
+                   censored_idle_cycles=sum(
+                       length * count
+                       for length, count in censored.items()))
 
     @property
     def short_fraction(self) -> float:
-        """Fraction of idle periods <= BET (the paper reports > 61%)."""
+        """Fraction of *completed* idle periods <= BET (the paper reports
+        > 61%); censored periods are excluded."""
         return self.short_periods / self.num_periods if self.num_periods else 0.0
 
     @property

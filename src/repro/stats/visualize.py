@@ -15,6 +15,7 @@ from __future__ import annotations
 
 from typing import TYPE_CHECKING, Dict, List, Optional
 
+from ..noc.topology import NUM_PORTS
 from ..powergate.controller import PowerState
 
 if TYPE_CHECKING:  # pragma: no cover
@@ -53,7 +54,7 @@ def power_state_map(network: "Network") -> str:
 def occupancy_heatmap(network: "Network") -> str:
     """Mesh map of input-buffer occupancy, bucketed to one char."""
     max_fill = (network.cfg.noc.buffer_depth * network.cfg.noc.vcs_per_port
-                * 5)
+                * NUM_PORTS)
 
     def cell(node: int) -> str:
         fill = network.routers[node].occupancy()

@@ -1,14 +1,22 @@
 """Shared test configuration.
 
-Redirects the on-disk result cache (:mod:`repro.experiments.parallel`)
-into a per-session temporary directory so tests never read from or
-write to the user's real ``~/.cache/repro``, while still exercising
-cache hits within one test session.
+Puts ``src/`` on ``sys.path`` so a bare ``python -m pytest`` works from
+the repo root (no ``PYTHONPATH=src`` needed), and redirects the on-disk
+result cache (:mod:`repro.experiments.parallel`) into a per-session
+temporary directory so tests never read from or write to the user's
+real ``~/.cache/repro``, while still exercising cache hits within one
+test session.
 """
 
 import os
+import sys
+from pathlib import Path
 
 import pytest
+
+_SRC = str(Path(__file__).resolve().parent.parent / "src")
+if _SRC not in sys.path:
+    sys.path.insert(0, _SRC)
 
 
 @pytest.fixture(autouse=True, scope="session")

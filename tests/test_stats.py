@@ -41,6 +41,36 @@ class TestStatsCollector:
         col.on_packet_ejected(pkt)
         assert col.packets_measured == 0
 
+    def test_in_window_edge_semantics(self):
+        col = StatsCollector("No_PG", 4)
+        col.start_measurement(100)
+        col.stop_measurement(200)
+        assert col.in_window(100)       # created at measure_start counts
+        assert col.in_window(199)
+        assert not col.in_window(200)   # created at measure_end does not
+        assert not col.in_window(99)
+        assert not col.in_window(None)
+
+    def test_in_window_open_ended_until_stop(self):
+        col = StatsCollector("No_PG", 4)
+        col.start_measurement(100)
+        assert col.in_window(10 ** 9)   # no end yet: everything after start
+        col.stop_measurement(200)
+        assert not col.in_window(10 ** 9)
+
+    def test_ejection_after_stop_attributes_in_window_packets(self):
+        # Drain correctness: a packet created in-window but ejected after
+        # stop_measurement still contributes its latency.
+        col = StatsCollector("No_PG", 4)
+        col.start_measurement(100)
+        pkt = Packet(0, 1, 1, created_cycle=150)
+        col.on_packet_created(pkt)
+        col.stop_measurement(200)
+        pkt.ejected_cycle = 250
+        col.on_packet_ejected(pkt)
+        assert col.packets_measured == 1
+        assert col.total_latency == 100
+
     def test_idle_period_tracking(self):
         col = StatsCollector("No_PG", 1)
         col.start_measurement(0)
@@ -51,13 +81,57 @@ class TestStatsCollector:
         assert col.idle_periods == {3: 1, 7: 1}
         assert col.idle_cycles[0] == 10
 
-    def test_open_idle_run_flushed_at_stop(self):
+    def test_open_idle_run_censored_at_stop(self):
+        # The trailing run is still open when the window closes: its true
+        # length is unknown, so it must not be recorded as completed.
         col = StatsCollector("No_PG", 1)
         col.start_measurement(0)
         for _ in range(5):
             col.on_cycle_idle_state(0, True)
         col.stop_measurement(5)
-        assert col.idle_periods == {5: 1}
+        assert col.idle_periods == {}
+        assert col.censored_idle_periods == {5: 1}
+        assert col.idle_cycles[0] == 5
+
+    def test_edge_api_matches_per_cycle_api(self):
+        # note_idle/note_busy (the cycle kernel's producer) must yield the
+        # same histogram as the legacy per-cycle scan for the same trace:
+        # idle at cycles 1-3, busy at 4, idle 5-11, busy 12-13.
+        col = StatsCollector("No_PG", 1)
+        col.note_idle(0, 0)
+        col.start_measurement(0)
+        col.note_busy(0, 4)
+        col.note_idle(0, 5)
+        col.note_busy(0, 12)
+        col.stop_measurement(13)
+        assert col.idle_periods == {3: 1, 7: 1}
+        assert col.censored_idle_periods == {}
+        assert col.idle_cycles[0] == 10
+
+    def test_edge_api_full_window_idle_censored(self):
+        # A router idle across the entire window is one censored period
+        # of window length - never a completed one (the Fig. 3 bias bug).
+        col = StatsCollector("No_PG", 2)
+        col.note_idle(0, 0)
+        col.note_idle(1, 0)
+        col.start_measurement(10)
+        col.note_busy(1, 25)  # node 1 wakes mid-window; node 0 never does
+        col.stop_measurement(30)
+        assert col.idle_periods == {14: 1}       # node 1: cycles 11-24
+        assert col.censored_idle_periods == {20: 1}  # node 0: cycles 11-30
+        assert col.idle_cycles[0] == 20
+        assert col.idle_cycles[1] == 14
+
+    def test_edge_api_prewindow_history_clipped(self):
+        # Idle since cycle 3, window starts at 100: only in-window idle
+        # cycles (101 onward) may count.
+        col = StatsCollector("No_PG", 1)
+        col.note_idle(0, 3)
+        col.start_measurement(100)
+        col.note_busy(0, 105)
+        col.stop_measurement(200)
+        assert col.idle_periods == {4: 1}  # cycles 101-104
+        assert col.idle_cycles[0] == 4
 
 
 class TestRunResult:

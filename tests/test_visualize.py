@@ -3,8 +3,10 @@
 import pytest
 
 from repro.config import Design, small_config
+from repro.noc.flit import Packet
 from repro.noc.network import Network
-from repro.stats.visualize import (STATE_CHARS, StateTimeline,
+from repro.noc.topology import NUM_PORTS
+from repro.stats.visualize import (HEAT_CHARS, STATE_CHARS, StateTimeline,
                                    occupancy_heatmap, power_state_map,
                                    ring_map)
 from repro.traffic.synthetic import uniform_random
@@ -33,6 +35,24 @@ class TestMaps:
         net = Network(small_config(Design.NO_PG))
         text = occupancy_heatmap(net)
         assert set(text.replace("\n", "")) <= {" "}
+
+    def test_occupancy_heatmap_max_bucket_reachable(self):
+        # Normalization must use the true port count: a completely full
+        # router (buffer_depth * vcs * NUM_PORTS flits) lands in the
+        # hottest bucket, not beyond it and not below it.
+        net = Network(small_config(Design.NO_PG))
+        cfg = net.cfg.noc
+        pkt = Packet(0, 1, 1, created_cycle=0)
+        flit = pkt.make_flits()[0]
+        router = net.routers[0]
+        for port in range(NUM_PORTS):
+            for vc in range(cfg.vcs_per_port):
+                for _ in range(cfg.buffer_depth):
+                    router.in_ports[port].vcs[vc].fifo.append(flit)
+        assert (router.occupancy()
+                == cfg.buffer_depth * cfg.vcs_per_port * NUM_PORTS)
+        top_left = occupancy_heatmap(net).splitlines()[-1].split()[0]
+        assert top_left == HEAT_CHARS[-1]
 
     def test_ring_map_positions(self):
         net = Network(small_config(Design.NORD))
