@@ -38,6 +38,13 @@ def _positive_int(text: str) -> int:
     return value
 
 
+def _nonneg_int(text: str) -> int:
+    value = int(text)
+    if value < 0:
+        raise argparse.ArgumentTypeError(f"must be >= 0, got {value}")
+    return value
+
+
 def _add_common(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--scale", choices=sorted(SCALES), default="bench",
                         help="simulation length preset")
@@ -48,6 +55,16 @@ def _add_common(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--no-cache", action="store_true",
                         help="ignore and do not update the on-disk result "
                              "cache (see REPRO_CACHE_DIR)")
+    parser.add_argument("--timeout", type=float, default=None, metavar="SEC",
+                        help="per-run wall-clock budget in seconds "
+                             "(default: unlimited)")
+    parser.add_argument("--retries", type=_nonneg_int, default=0,
+                        metavar="N",
+                        help="retry hung/timed-out/crashed runs up to N "
+                             "times with exponential backoff (default: 0)")
+    parser.add_argument("--partial", action="store_true",
+                        help="keep going when a run fails every attempt: "
+                             "report partial results instead of aborting")
     parser.add_argument("--profile", action="store_true",
                         help="report per-phase cycle-kernel timing and "
                              "active-set occupancy after the run")
@@ -78,7 +95,39 @@ def build_parser() -> argparse.ArgumentParser:
                        help="flits/node/cycle (synthetic traffic only)")
     p_sim.add_argument("--width", type=int, default=4)
     p_sim.add_argument("--height", type=int, default=4)
+    fault = p_sim.add_argument_group("fault injection")
+    fault.add_argument("--fail-router", type=int, default=None,
+                       metavar="NODE",
+                       help="hard-fail this router mid-run")
+    fault.add_argument("--fail-cycle", type=int, default=60,
+                       metavar="CYC",
+                       help="cycle at which --fail-router dies "
+                            "(default: 60)")
+    fault.add_argument("--corrupt-rate", type=float, default=0.0,
+                       metavar="P",
+                       help="per-link per-flit corruption probability")
+    fault.add_argument("--drop-rate", type=float, default=0.0, metavar="P",
+                       help="per-link per-flit drop probability")
+    fault.add_argument("--retransmit", action="store_true",
+                       help="enable NI retransmission on timeout for "
+                            "lost/corrupted packets")
     return parser
+
+
+def _fault_plan(args: argparse.Namespace):
+    """Build the FaultPlan the simulate flags describe (None if none)."""
+    from .faults import FaultPlan, LinkFault, RouterFailure
+    failures = ()
+    if args.fail_router is not None:
+        failures = (RouterFailure(args.fail_router, args.fail_cycle),)
+    links = ()
+    if args.corrupt_rate or args.drop_rate:
+        links = (LinkFault(corrupt_rate=args.corrupt_rate,
+                           drop_rate=args.drop_rate),)
+    if not failures and not links and not args.retransmit:
+        return None
+    return FaultPlan(router_failures=failures, link_faults=links,
+                     seed=args.seed, retransmit=args.retransmit)
 
 
 def _simulate(args: argparse.Namespace) -> None:
@@ -98,9 +147,12 @@ def _simulate(args: argparse.Namespace) -> None:
     else:
         spec = parallel.parsec_spec(args.traffic, seed=args.seed)
     runner = parallel.configure(jobs=args.jobs,
-                                use_cache=not args.no_cache)
+                                use_cache=not args.no_cache,
+                                timeout=args.timeout, retries=args.retries,
+                                partial=args.partial)
+    faults = _fault_plan(args)
     result, energy = runner.run_one(
-        parallel.DesignPoint(cfg=cfg, traffic=spec))
+        parallel.DesignPoint(cfg=cfg, traffic=spec, faults=faults))
     rows = [
         ("design", args.design),
         ("traffic", args.traffic),
@@ -117,6 +169,15 @@ def _simulate(args: argparse.Namespace) -> None:
          f"{energy.router_static_j * 1e6:.2f}"),
         ("PG overhead energy (uJ)", f"{energy.pg_overhead_j * 1e6:.2f}"),
     ]
+    if faults is not None:
+        rows += [
+            ("delivered fraction", f"{result.delivered_fraction:.4f}"),
+            ("packets failed", result.packets_failed),
+            ("packets corrupted", result.packets_corrupted),
+            ("packets retransmitted", result.packets_retransmitted),
+            ("flits corrupted/dropped",
+             f"{result.flits_corrupted}/{result.flits_dropped}"),
+        ]
     print(format_table(("metric", "value"), rows, title="simulation"))
 
 
@@ -130,14 +191,17 @@ def main(argv: Optional[List[str]] = None) -> int:
         activity.enable_profiling()
     if args.command == "run-all":
         run_all(args.scale, args.seed, jobs=args.jobs,
-                use_cache=not args.no_cache)
+                use_cache=not args.no_cache, timeout=args.timeout,
+                retries=args.retries, partial=args.partial)
         return 0
     if args.command == "simulate":
         _simulate(args)
         if activity.profiling_enabled():
             print(activity.global_profile().summary())
         return 0
-    parallel.configure(jobs=args.jobs, use_cache=not args.no_cache)
+    parallel.configure(jobs=args.jobs, use_cache=not args.no_cache,
+                       timeout=args.timeout, retries=args.retries,
+                       partial=args.partial)
     print(run_experiment(args.command, args.scale, args.seed))
     if activity.profiling_enabled():
         print(activity.global_profile().summary())

@@ -32,12 +32,19 @@ from __future__ import annotations
 import json
 import multiprocessing
 import os
+import signal
 import tempfile
-from dataclasses import dataclass
+import time
+from concurrent.futures import ProcessPoolExecutor
+from concurrent.futures import TimeoutError as FutureTimeout
+from dataclasses import dataclass, field
 from pathlib import Path
-from typing import (Callable, Dict, List, Optional, Sequence, Tuple)
+from typing import (Any, Callable, Dict, List, Optional, Sequence, Tuple)
 
 from ..config import SimConfig, stable_hash
+from ..errors import (DeadlockError, LivelockError, RunTimeout,
+                      SimulationHang)
+from ..faults import FaultPlan
 from ..noc.network import Network
 from ..power.model import EnergyReport, PowerModel
 from ..stats.collector import RunResult
@@ -46,7 +53,8 @@ from ..traffic.parsec import make_traffic
 from ..traffic.synthetic import bit_complement, uniform_random
 
 #: Bump when the cache file layout changes; invalidates old entries.
-CACHE_FORMAT = 1
+#: 2: design points gained a ``faults`` field (fault-injection plans).
+CACHE_FORMAT = 2
 
 #: ``DesignPoint.network`` value selecting the bufferless datapath
 #: (Section 6.8 discussion) instead of the standard ``Network``.
@@ -135,6 +143,8 @@ class DesignPoint:
     prepare: Optional[str] = None
     #: ``standard`` or ``bufferless``.
     network: str = STANDARD_NETWORK
+    #: Optional fault-injection plan (see :mod:`repro.faults`).
+    faults: Optional[FaultPlan] = None
 
     def __post_init__(self) -> None:
         if self.prepare is not None and self.prepare not in PREPARE_HOOKS:
@@ -142,9 +152,20 @@ class DesignPoint:
                              f"known: {sorted(PREPARE_HOOKS)}")
         if self.network not in (STANDARD_NETWORK, BUFFERLESS_NETWORK):
             raise ValueError(f"unknown network kind {self.network!r}")
+        if self.faults is not None and self.network == BUFFERLESS_NETWORK:
+            raise ValueError(
+                "fault injection is not supported on the bufferless network")
 
     def cache_key(self) -> str:
-        """Content hash identifying this point's result on disk."""
+        """Content hash identifying this point's result on disk.
+
+        An *empty* fault plan keys identically to no plan at all: the
+        two are proven behaviourally identical, so they share a cache
+        entry.
+        """
+        faults = None
+        if self.faults is not None and not self.faults.is_empty:
+            faults = self.faults.to_key()
         return stable_hash({
             "format": CACHE_FORMAT,
             "code": code_version(),
@@ -152,6 +173,7 @@ class DesignPoint:
             "traffic": self.traffic.to_key(),
             "prepare": self.prepare,
             "network": self.network,
+            "faults": faults,
         })
 
 
@@ -162,13 +184,85 @@ def execute_point(point: DesignPoint) -> SweepOutcome:
         from ..noc.bufferless import BufferlessNetwork
         net = BufferlessNetwork(cfg)
     else:
-        net = Network(cfg)
+        net = Network(cfg, fault_plan=point.faults)
     if point.prepare is not None:
         PREPARE_HOOKS[point.prepare](net)
     traffic = point.traffic.build(net.mesh)
     result = net.run(traffic)
     report = PowerModel(cfg).evaluate(result)
     return result, report
+
+
+# ---------------------------------------------------------------------------
+# guarded execution (worker-side fault containment)
+# ---------------------------------------------------------------------------
+#: Tagged worker return values: ``("ok", outcome)`` on success, else
+#: ``(kind, message, diagnostics)`` with ``kind`` one of the keys below.
+GuardedOutcome = Tuple[Any, ...]
+
+#: Failure kinds worth a retry: hangs may clear under a different
+#: schedule only for genuinely racy externals, but the issue-driving
+#: cases are worker crashes and wall-clock timeouts on loaded hosts.
+RETRYABLE_KINDS = frozenset({"hang", "timeout", "crash"})
+
+
+def _guarded_execute(point: DesignPoint,
+                     timeout: Optional[float]) -> GuardedOutcome:
+    """Run ``execute_point`` under a wall-clock alarm, catching failures.
+
+    Runs in the worker process (or in-process for ``jobs=1``).  Returns
+    a tagged tuple instead of raising so one bad run cannot poison a
+    ``Pool.map`` batch.  ``SIGALRM`` interrupts runs that exceed
+    ``timeout`` seconds; on platforms without it the caller's outer
+    guard is the only backstop.
+    """
+    use_alarm = timeout is not None and hasattr(signal, "SIGALRM")
+    old_handler = None
+    if use_alarm:
+        def _on_alarm(signum, frame):
+            raise RunTimeout(
+                f"run exceeded the {timeout:g}s wall-clock timeout")
+
+        old_handler = signal.signal(signal.SIGALRM, _on_alarm)
+        signal.setitimer(signal.ITIMER_REAL, timeout)
+    try:
+        return ("ok", execute_point(point))
+    except SimulationHang as exc:
+        return ("hang", str(exc), exc.diagnostics)
+    except RunTimeout as exc:
+        return ("timeout", str(exc), {})
+    except Exception as exc:  # noqa: BLE001 - contained, reported upstream
+        return ("error", f"{type(exc).__name__}: {exc}", {})
+    finally:
+        if use_alarm:
+            signal.setitimer(signal.ITIMER_REAL, 0)
+            signal.signal(signal.SIGALRM, old_handler)
+
+
+@dataclass
+class FailedRun:
+    """Record of a design point that failed all its attempts."""
+
+    point: DesignPoint
+    kind: str  # "hang" | "timeout" | "crash" | "error"
+    message: str
+    diagnostics: Dict[str, Any] = field(default_factory=dict)
+    attempts: int = 1
+
+    @property
+    def retryable(self) -> bool:
+        return self.kind in RETRYABLE_KINDS
+
+    def to_exception(self) -> Exception:
+        """Rebuild the failure as a raisable typed exception."""
+        if self.kind == "hang":
+            cls = {"deadlock": DeadlockError,
+                   "livelock": LivelockError}.get(
+                       self.diagnostics.get("kind"), SimulationHang)
+            return cls(self.message, self.diagnostics)
+        if self.kind == "timeout":
+            return RunTimeout(self.message)
+        return RuntimeError(self.message)
 
 
 # ---------------------------------------------------------------------------
@@ -218,11 +312,17 @@ class ResultCache:
 
     One JSON file per design point under the cache directory.  Writes
     are atomic (temp file + rename) so concurrent runners can share a
-    cache; a corrupt or stale-format file reads as a miss.
+    cache.  A stale-format file reads as a miss (it will simply be
+    overwritten); an *unreadable* file - truncated JSON, wrong value
+    shapes, I/O error - is quarantined: renamed to ``<key>.corrupt``
+    (preserved for post-mortem, never re-read) and counted in
+    ``self.quarantined``.
     """
 
     def __init__(self, directory: Optional[Path] = None) -> None:
         self._directory = Path(directory) if directory is not None else None
+        #: Corrupt entries renamed aside since this cache was created.
+        self.quarantined = 0
 
     @property
     def directory(self) -> Path:
@@ -235,16 +335,33 @@ class ResultCache:
     def get(self, key: str) -> Optional[SweepOutcome]:
         path = self.path_for(key)
         try:
-            data = json.loads(path.read_text())
-        except (OSError, ValueError):
+            text = path.read_text()
+        except FileNotFoundError:
             return None
+        except OSError:
+            return self._quarantine(path)
+        try:
+            data = json.loads(text)
+        except ValueError:
+            return self._quarantine(path)
+        if not isinstance(data, dict):
+            return self._quarantine(path)
         if data.get("format") != CACHE_FORMAT:
-            return None
+            return None  # stale format: an honest miss, not corruption
         try:
             return (RunResult.from_dict(data["result"]),
                     EnergyReport.from_dict(data["energy"]))
-        except (KeyError, TypeError):
-            return None
+        except (KeyError, TypeError, ValueError):
+            return self._quarantine(path)
+
+    def _quarantine(self, path: Path) -> None:
+        """Move a corrupt entry aside so it reads as a miss forever."""
+        try:
+            os.replace(path, path.with_suffix(".corrupt"))
+        except OSError:
+            pass  # e.g. the file vanished; either way it stays a miss
+        self.quarantined += 1
+        return None
 
     def put(self, key: str, outcome: SweepOutcome) -> None:
         result, energy = outcome
@@ -293,6 +410,11 @@ class SweepStats:
     hits: int = 0
     misses: int = 0
     executed: int = 0
+    #: Extra execution attempts beyond the first, across all points.
+    retried: int = 0
+    #: Points that exhausted every attempt (partial mode only accrues
+    #: these; strict mode raises on the first one instead).
+    failures: int = 0
 
     def snapshot(self) -> Tuple[int, int]:
         return (self.hits, self.misses)
@@ -305,18 +427,47 @@ class SweepRunner:
     beyond what the cache already requires; ``jobs=N`` fans cache
     misses across ``N`` spawned worker processes.  Results always come
     back in submission order.
+
+    Resilience knobs:
+
+    * ``timeout`` - per-run wall-clock budget in seconds (``None`` =
+      unlimited).  Enforced inside the worker via ``SIGALRM``, with an
+      outer ``2 * timeout + 30`` guard on the parent side in case the
+      worker itself is wedged below the Python level;
+    * ``retries`` - how many extra attempts a *retryable* failure
+      (hang, timeout, worker crash) gets, with exponential backoff
+      (``retry_backoff * 2**attempt`` seconds) between rounds;
+    * ``partial`` - when ``True``, points that exhaust their attempts
+      yield ``None`` in the result list and a :class:`FailedRun` in
+      ``self.failures`` instead of aborting the whole sweep.
+
+    Failed runs are never written to the cache.
     """
 
     def __init__(self, jobs: int = 1, use_cache: bool = True,
-                 cache: Optional[ResultCache] = None) -> None:
+                 cache: Optional[ResultCache] = None,
+                 timeout: Optional[float] = None, retries: int = 0,
+                 retry_backoff: float = 1.0,
+                 partial: bool = False) -> None:
         if jobs < 1:
             raise ValueError("jobs must be >= 1")
+        if timeout is not None and timeout <= 0:
+            raise ValueError("timeout must be positive (or None)")
+        if retries < 0:
+            raise ValueError("retries must be >= 0")
         self.jobs = jobs
         self.use_cache = use_cache
         self.cache = cache if cache is not None else ResultCache()
+        self.timeout = timeout
+        self.retries = retries
+        self.retry_backoff = retry_backoff
+        self.partial = partial
         self.stats = SweepStats()
+        #: ``FailedRun`` records accumulated in partial mode.
+        self.failures: List[FailedRun] = []
 
-    def run(self, points: Sequence[DesignPoint]) -> List[SweepOutcome]:
+    def run(self,
+            points: Sequence[DesignPoint]) -> List[Optional[SweepOutcome]]:
         points = list(points)
         outcomes: List[Optional[SweepOutcome]] = [None] * len(points)
         miss_indices: List[int] = []
@@ -333,29 +484,99 @@ class SweepRunner:
             else:
                 self.stats.misses += 1
             miss_indices.append(i)
-        fresh = self._execute([points[i] for i in miss_indices])
-        for i, outcome in zip(miss_indices, fresh):
-            outcomes[i] = outcome
-            if self.use_cache and keys[i] is not None:
-                self.cache.put(keys[i], outcome)
         self.stats.executed += len(miss_indices)
-        return outcomes  # type: ignore[return-value]
+
+        # Execute misses in rounds: round 0 is the first attempt, each
+        # further round retries the still-retryable failures.
+        pending = list(miss_indices)
+        last_failure: Dict[int, GuardedOutcome] = {}
+        for attempt in range(self.retries + 1):
+            if not pending:
+                break
+            if attempt > 0:
+                time.sleep(self.retry_backoff * (2 ** (attempt - 1)))
+                self.stats.retried += len(pending)
+            tagged = self._execute([points[i] for i in pending])
+            still_failing: List[int] = []
+            for i, tag in zip(pending, tagged):
+                if tag[0] == "ok":
+                    outcomes[i] = tag[1]
+                    last_failure.pop(i, None)
+                    if self.use_cache and keys[i] is not None:
+                        self.cache.put(keys[i], tag[1])
+                    continue
+                last_failure[i] = tag
+                if tag[0] in RETRYABLE_KINDS:
+                    still_failing.append(i)
+                # Non-retryable errors are final: no more rounds for them.
+            pending = still_failing
+
+        for i, tag in sorted(last_failure.items()):
+            kind, message = tag[0], tag[1]
+            diagnostics = tag[2] if len(tag) > 2 else {}
+            attempts = 1 + (self.retries if kind in RETRYABLE_KINDS else 0)
+            failed = FailedRun(point=points[i], kind=kind, message=message,
+                               diagnostics=diagnostics, attempts=attempts)
+            if not self.partial:
+                raise failed.to_exception()
+            self.failures.append(failed)
+            self.stats.failures += 1
+        return outcomes
 
     def run_one(self, point: DesignPoint) -> SweepOutcome:
-        return self.run([point])[0]
+        outcome = self.run([point])[0]
+        if outcome is None:  # only reachable in partial mode
+            raise self.failures[-1].to_exception()
+        return outcome
 
-    def _execute(self, points: List[DesignPoint]) -> List[SweepOutcome]:
+    # -- execution backends -------------------------------------------------
+    def _execute(self, points: List[DesignPoint]) -> List[GuardedOutcome]:
         if not points:
             return []
         workers = min(self.jobs, len(points))
         if workers <= 1:
-            return [execute_point(p) for p in points]
+            return [_guarded_execute(p, self.timeout) for p in points]
+        return self._execute_pool(points, workers)
+
+    def _execute_pool(self, points: List[DesignPoint],
+                      workers: int) -> List[GuardedOutcome]:
         # Spawn (not fork): workers re-import repro from scratch, so the
         # parent's in-process caches and module state cannot leak in and
         # results match a fresh serial run bit for bit.
         ctx = multiprocessing.get_context("spawn")
-        with ctx.Pool(processes=workers) as pool:
-            return pool.map(execute_point, points, chunksize=1)
+        # The outer guard only has to catch workers wedged so hard the
+        # in-worker SIGALRM never fired; it is deliberately generous so
+        # slow-but-alive workers are judged by their own alarm.
+        guard = None if self.timeout is None else 2 * self.timeout + 30
+        results: List[GuardedOutcome] = []
+        abandoned = False
+        executor = ProcessPoolExecutor(max_workers=workers, mp_context=ctx)
+        try:
+            futures = [executor.submit(_guarded_execute, p, self.timeout)
+                       for p in points]
+            for fut in futures:
+                if abandoned:
+                    results.append(("timeout", "worker pool abandoned after "
+                                    "an unresponsive worker", {}))
+                    continue
+                try:
+                    results.append(fut.result(timeout=guard))
+                except FutureTimeout:
+                    # The worker ignored its own alarm; abandon the pool
+                    # (a wedged process would hang a graceful shutdown).
+                    results.append(
+                        ("timeout",
+                         f"worker unresponsive after {guard:g}s "
+                         "(in-run timeout did not fire)", {}))
+                    executor.shutdown(wait=False, cancel_futures=True)
+                    abandoned = True
+                except Exception as exc:  # worker died: BrokenProcessPool &c
+                    results.append(
+                        ("crash", f"{type(exc).__name__}: {exc}", {}))
+        finally:
+            if not abandoned:
+                executor.shutdown(wait=True)
+        return results
 
 
 # ---------------------------------------------------------------------------
@@ -373,7 +594,10 @@ def get_runner() -> SweepRunner:
 
 
 def configure(jobs: Optional[int] = None,
-              use_cache: Optional[bool] = None) -> SweepRunner:
+              use_cache: Optional[bool] = None,
+              timeout: Optional[float] = None,
+              retries: Optional[int] = None,
+              partial: Optional[bool] = None) -> SweepRunner:
     """Adjust the default runner (e.g. from ``--jobs`` / ``--no-cache``)."""
     runner = get_runner()
     if jobs is not None:
@@ -382,6 +606,16 @@ def configure(jobs: Optional[int] = None,
         runner.jobs = jobs
     if use_cache is not None:
         runner.use_cache = use_cache
+    if timeout is not None:
+        if timeout <= 0:
+            raise ValueError("timeout must be positive")
+        runner.timeout = timeout
+    if retries is not None:
+        if retries < 0:
+            raise ValueError("retries must be >= 0")
+        runner.retries = retries
+    if partial is not None:
+        runner.partial = partial
     return runner
 
 

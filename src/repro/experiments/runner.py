@@ -17,7 +17,8 @@ from . import (area_overhead, discussion_bufferless,
                fig3_idle_periods, fig6_placement, fig7_threshold,
                fig8_static_energy, fig9_overhead, fig10_energy_breakdown,
                fig11_latency, fig12_execution_time, fig13_wakeup_latency,
-               fig14_load_sweep, fig15_load_sweep64, table1_config)
+               fig14_load_sweep, fig15_load_sweep64, resilience_sweep,
+               table1_config)
 
 #: name -> (module, description).  Each module exposes run()/report().
 EXPERIMENTS: Dict[str, Tuple[object, str]] = {
@@ -39,6 +40,8 @@ EXPERIMENTS: Dict[str, Tuple[object, str]] = {
                    "Section 6.8: pipeline/bypass optimizations"),
     "bufferless": (discussion_bufferless,
                    "Section 6.8: bufferless routing vs power-gating"),
+    "resilience": (resilience_sweep,
+                   "Resilience: fault injection across designs"),
 }
 
 
@@ -55,29 +58,58 @@ def run_experiment(name: str, scale: str = "bench", seed: int = 1) -> str:
 
 def run_all(scale: str = "bench", seed: int = 1, *,
             jobs: Optional[int] = None, use_cache: Optional[bool] = None,
+            timeout: Optional[float] = None, retries: Optional[int] = None,
+            partial: Optional[bool] = None,
             echo: Callable[[str], None] = print) -> None:
     """Run every experiment, echoing each report with timing.
 
-    ``jobs``/``use_cache`` configure the process-wide
-    :class:`repro.experiments.parallel.SweepRunner` that the figure
-    experiments submit their design points through; each experiment's
-    footer reports its wall-clock time plus how many design points were
-    served from the on-disk result cache.
+    ``jobs``/``use_cache``/``timeout``/``retries``/``partial`` configure
+    the process-wide :class:`repro.experiments.parallel.SweepRunner`
+    that the figure experiments submit their design points through; each
+    experiment's footer reports its wall-clock time plus how many design
+    points were served from the on-disk result cache.  The run-all
+    footer additionally reports quarantined (corrupt) cache entries and,
+    in partial mode, runs that failed every attempt.
     """
-    runner = parallel.configure(jobs=jobs, use_cache=use_cache)
+    runner = parallel.configure(jobs=jobs, use_cache=use_cache,
+                                timeout=timeout, retries=retries,
+                                partial=partial)
     total_start = time.perf_counter()
     for name, (module, description) in EXPERIMENTS.items():
         start = time.perf_counter()
         hits0, misses0 = runner.stats.snapshot()
         echo(f"\n### {name}: {description}")
-        echo(run_experiment(name, scale, seed))
+        try:
+            echo(run_experiment(name, scale, seed))
+        except Exception as exc:
+            # Partial mode soldiers on: a sweep that lost design points
+            # may crash its experiment's aggregation; report and move to
+            # the next experiment instead of losing the whole run-all.
+            if not runner.partial:
+                raise
+            elapsed = time.perf_counter() - start
+            echo(f"[{name} took {elapsed:.1f}s and failed: "
+                 f"{type(exc).__name__}: {exc}]")
+            continue
         hits, misses = runner.stats.snapshot()
         elapsed = time.perf_counter() - start
         echo(f"[{name} took {elapsed:.1f}s; cache: {hits - hits0} hits, "
              f"{misses - misses0} misses]")
     hits, misses = runner.stats.snapshot()
+    quarantined = runner.cache.quarantined
     echo(f"\n[run-all took {time.perf_counter() - total_start:.1f}s with "
          f"jobs={runner.jobs}; cache: {hits} hits, {misses} misses"
+         f"{f', {quarantined} quarantined' if quarantined else ''}"
          f"{'' if runner.use_cache else ' (cache disabled)'}]")
+    # Footer lines contain " took " and are excluded from CI byte-diffs,
+    # so the variable quarantine/failure counts never break determinism
+    # checks.  Failed runs get their own (loud) trailer.
+    if runner.failures:
+        echo(f"[run-all took note: {len(runner.failures)} design points "
+             f"failed every attempt]")
+        for failed in runner.failures:
+            echo(f"[  {failed.kind}: {failed.point.cfg.design} "
+                 f"{failed.point.traffic.kind} - {failed.message} "
+                 f"(took {failed.attempts} attempts)]")
     if activity.profiling_enabled():
         echo(activity.global_profile().summary())

@@ -155,7 +155,8 @@ class OutputPort:
     a time.
     """
 
-    __slots__ = ("port_id", "credit", "vc_owner", "gated", "buffer_depth")
+    __slots__ = ("port_id", "credit", "vc_owner", "gated", "failed",
+                 "buffer_depth")
 
     def __init__(self, port_id: int, num_vcs: int, depth: int) -> None:
         self.port_id = port_id
@@ -168,6 +169,10 @@ class OutputPort:
         #: True when the downstream router is power-gated off and this port
         #: must not be used (conventional PG tags, Section 3.1 / 4.3).
         self.gated = False
+        #: True when the downstream router is hard-failed: packets routed
+        #: here are dropped and recorded instead of stalling for a wakeup
+        #: that will never come.  Always implies ``gated``.
+        self.failed = False
 
     def free_vcs(self, vc_range) -> List[int]:
         return [v for v in vc_range if self.vc_owner[v] is None]

@@ -33,7 +33,8 @@ class Packet:
     __slots__ = (
         "pid", "src", "dst", "length", "injected_cycle", "created_cycle",
         "ejected_cycle", "misroutes", "on_escape", "hops", "bypass_hops",
-        "wakeup_stall_cycles", "klass", "escape_level",
+        "wakeup_stall_cycles", "klass", "escape_level", "seq", "retry",
+        "corrupted", "failed",
     )
 
     def __init__(self, src: int, dst: int, length: int, created_cycle: int,
@@ -63,6 +64,18 @@ class Packet:
         #: Dateline level for ring-escape VC selection (0 before crossing,
         #: 1 after); only meaningful once ``on_escape`` is set.
         self.escape_level = 0
+        #: End-to-end sequence number per (src, dst) flow; assigned only
+        #: when a fault plan is active, None otherwise.
+        self.seq: Optional[int] = None
+        #: Which retransmission attempt this packet instance is (0 = the
+        #: original transmission).
+        self.retry = 0
+        #: A link fault corrupted or dropped one of this packet's flits;
+        #: detected end-to-end at the destination NI.
+        self.corrupted = False
+        #: The packet was discarded in-network (hard-failed router) or
+        #: rejected at the source (unreachable endpoint).
+        self.failed = False
 
     @property
     def latency(self) -> int:

@@ -50,7 +50,8 @@ class DelayLine(Generic[T]):
 class Link:
     """A unidirectional router-to-router link with its credit return path."""
 
-    __slots__ = ("src", "src_port", "dst", "dst_port", "flits", "credits")
+    __slots__ = ("src", "src_port", "dst", "dst_port", "flits", "credits",
+                 "fault")
 
     def __init__(self, src: int, src_port: int, dst: int, dst_port: int,
                  delay: int = 1) -> None:
@@ -62,6 +63,10 @@ class Link:
         self.flits: DelayLine = DelayLine(delay)
         #: carries vc ids upstream as credits
         self.credits: DelayLine = DelayLine(delay)
+        #: Optional :class:`repro.faults.LinkFault` applying to this link;
+        #: None (the default) means the fault hooks in the link-delivery
+        #: phases reduce to a single attribute check.
+        self.fault = None
 
     @property
     def busy(self) -> bool:

@@ -50,6 +50,8 @@ from typing import Dict, List, Optional, Set, Tuple
 
 from ..config import Design, SimConfig
 from ..core.ring import BypassRing, build_ring
+from ..errors import DeadlockError, LivelockError
+from ..faults import FaultPlan, FaultState
 from ..powergate.controller import (GateInputs, NoPGController,
                                     PowerGateController, PowerState,
                                     Transition)
@@ -74,6 +76,11 @@ INJECT_DELAY = 1
 #: Cycles without any flit movement (while packets are outstanding) after
 #: which the simulator declares a deadlock and aborts with diagnostics.
 DEADLOCK_LIMIT = 5_000
+#: Cycles without any flit *ejection* (while packets are outstanding and
+#: flits keep moving) after which the simulator declares a livelock - the
+#: signature of a misroute-cap bug: movement looks healthy but packets
+#: circle on adaptive resources without converging on their destinations.
+LIVELOCK_LIMIT = 20_000
 
 
 def _skip_disabled_by_env() -> bool:
@@ -82,11 +89,20 @@ def _skip_disabled_by_env() -> bool:
         "1", "true", "yes", "on")
 
 
+def _empty_faultplan_env() -> bool:
+    """True when REPRO_EMPTY_FAULTPLAN requests an (inert) empty fault
+    plan - exercising every fault hook without injecting anything, to
+    prove zero behavioural drift against a plan-less run."""
+    return os.environ.get("REPRO_EMPTY_FAULTPLAN", "").strip().lower() in (
+        "1", "true", "yes", "on")
+
+
 class Network:
     """A complete simulated NoC for one design point."""
 
     def __init__(self, cfg: SimConfig, threshold_policy=None, *,
-                 skip_inactive: Optional[bool] = None) -> None:
+                 skip_inactive: Optional[bool] = None,
+                 fault_plan: Optional[FaultPlan] = None) -> None:
         self.cfg = cfg
         self.mesh = Mesh(cfg.noc.width, cfg.noc.height)
         self.now = 0
@@ -164,9 +180,30 @@ class Network:
         self._wu_now: Set[int] = set()
         self._outstanding = 0  # flits injected but not yet sunk
         self._last_progress = 0
+        #: Cycle of the last flit ejection (or outstanding-count restart);
+        #: drives the livelock detector.
+        self._livelock_ref = 0
         #: Stall cycles tolerated before aborting with deadlock
         #: diagnostics; tests lower it to trip the path quickly.
         self.deadlock_limit = DEADLOCK_LIMIT
+        #: Ejection-free cycles tolerated (with flits still moving)
+        #: before aborting with livelock diagnostics.
+        self.livelock_limit = LIVELOCK_LIMIT
+        # --- fault injection (repro.faults) ---
+        if fault_plan is None and _empty_faultplan_env():
+            fault_plan = FaultPlan()
+        self._faults: Optional[FaultState] = None
+        if fault_plan is not None:
+            self._faults = FaultState(fault_plan, self.mesh.num_nodes)
+            for row in self.links_out:
+                for link in row:
+                    if link is not None:
+                        link.fault = self._faults.link_fault_for(
+                            link.src, link.src_port)
+            for wf in fault_plan.wakeup_faults:
+                ctrl = self.controllers[wf.node]
+                ctrl.wu_ignore = wf.ignore
+                ctrl.wu_delay = wf.delay
 
     def _make_controller(self, node: int,
                          policy):
@@ -269,11 +306,26 @@ class Network:
     def sink_flit(self, node: int, flit: Flit, now: int, *,
                   via_bypass: bool) -> None:
         self._last_progress = now
+        self._livelock_ref = now
         self._outstanding -= 1
         self.stats.on_flit_ejected()
-        if flit.is_tail:
-            flit.packet.ejected_cycle = now
-            self.stats.on_packet_ejected(flit.packet)
+        if not flit.is_tail:
+            return
+        pkt = flit.packet
+        pkt.ejected_cycle = now
+        if self._faults is not None:
+            # End-to-end detection at the destination NI: a corrupted
+            # packet never counts as delivered; with retransmission the
+            # pending timeout drives the retry, and duplicates (a retry
+            # racing a slow original) are filtered by sequence number.
+            if pkt.corrupted:
+                self.stats.on_packet_corrupted(pkt)
+                self._faults.on_bad_delivery(self, pkt)
+                return
+            if not self._faults.on_good_delivery(pkt):
+                self.stats.on_packet_duplicate(pkt)
+                return
+        self.stats.on_packet_ejected(pkt)
 
     def wake_request(self, node: int, out_port: int) -> None:
         """Conventional PG: a stalled SA request (or an early-wakeup RC
@@ -316,21 +368,135 @@ class Network:
         # credit stays clamped at the single latch slot - correct for OFF.
 
     # ------------------------------------------------------------------
+    # fault injection services (repro.faults)
+    # ------------------------------------------------------------------
+    def schedule_router_failure(self, node: int) -> None:
+        """Arm a permanent hard-fail of ``node``'s router.
+
+        The fail completes at the first clean flit boundary (immediately
+        when the router is already gated off): the controller is forced
+        OFF for good, so every flow-control invariant the normal gating
+        machinery guarantees also holds for the dead router.
+        """
+        ctrl = self.controllers[node]
+        if ctrl.failed or ctrl.fail_armed:
+            return
+        if ctrl.state == PowerState.OFF:
+            # Already cleanly gated: the gate-off side effects (port tags
+            # / bypass credit clamp) are in place, so the fail is just a
+            # permanent pin.
+            ctrl.failed = True
+            self._on_fail_complete(node)
+        else:
+            ctrl.fail_armed = True
+
+    def _on_fail_complete(self, node: int) -> None:
+        """The router at ``node`` is now permanently dead.
+
+        NoRD needs nothing extra: the NI bypass and ring-escape routing
+        serve the node exactly as for any gated-off router.  Conventional
+        designs mark the neighbors' output ports failed (SA drops instead
+        of stalling for a wakeup that never comes) and fail the local
+        NI's queued packets - the node is disconnected (Section 3.4's
+        disconnection problem, now permanent).
+        """
+        faults = self._faults
+        faults.failed_nodes.add(node)
+        if self.cfg.design == Design.NORD:
+            return
+        for port, nbr in self.mesh.neighbors(node):
+            self.routers[nbr].out_ports[OPPOSITE[port]].failed = True
+        ni = self.nis[node]
+        ni.reset_pending_router_allocation()
+        while ni.inject_queue:
+            flit = ni.inject_queue.popleft()
+            self._outstanding -= 1
+            if flit.is_head:
+                flit.packet.failed = True
+                faults.on_packet_killed(self, flit.packet)
+
+    def fault_drop_buffered(self, node: int, in_port: int, vc: int,
+                            flit: Flit, now: int) -> None:
+        """A buffered flit of a failed packet is being discarded: return
+        its credit upstream and drop it from the outstanding count."""
+        self._outstanding -= 1
+        self._last_progress = now
+        self.credit_upstream(node, in_port, vc, now)
+
+    def fault_discard_in_flight(self, node: int, in_port: int, vc: int,
+                                flit: Flit) -> None:
+        """A straggler flit of a failed packet arrived at ``node``:
+        discard it as if it were buffered and immediately drained."""
+        now = self.now
+        self._outstanding -= 1
+        self._last_progress = now
+        self.credit_upstream(node, in_port, vc, now)
+        if flit.is_tail:
+            self.release_upstream_owner(node, in_port, vc)
+
+    def note_packet_killed(self, pkt: Packet) -> None:
+        """A packet was dropped at a hard-failed router (Router SA)."""
+        if self._faults is not None:
+            self._faults.on_packet_killed(self, pkt)
+
+    # ------------------------------------------------------------------
     # simulation loop
     # ------------------------------------------------------------------
     def inject_packet(self, src: int, dst: int, length: int,
                       klass: int = 0) -> Packet:
         pkt = Packet(src, dst, length, self.now, klass)
+        if self._faults is not None and not self._faults.admit_packet(self,
+                                                                      pkt):
+            # Unreachable endpoint under a conventional design: record the
+            # loss at the source instead of wedging the network.
+            pkt.failed = True
+            self.stats.on_packet_created(pkt)
+            self.stats.on_packet_failed(pkt)
+            return pkt
+        if self._outstanding == 0:
+            self._livelock_ref = self.now
         self.nis[src].enqueue_packet(pkt)
         self._active_nis.add(src)
         self._outstanding += length
         self.stats.on_packet_created(pkt)
         return pkt
 
+    @property
+    def nord_bypass_available(self) -> bool:
+        """NoRD keeps every node reachable through the bypass ring even
+        when its router is (permanently) off."""
+        return self.cfg.design == Design.NORD
+
+    def retransmit_packet(self, orig: Packet) -> None:
+        """NI-level retransmission: re-inject a clone of a timed-out
+        packet.  The clone keeps the original ``created_cycle`` so the
+        measured latency honestly includes the recovery time, and the
+        same ``seq`` so duplicate deliveries are filtered."""
+        faults = self._faults
+        pkt = Packet(orig.src, orig.dst, orig.length, self.now, orig.klass)
+        pkt.created_cycle = orig.created_cycle
+        pkt.seq = orig.seq
+        pkt.retry = orig.retry + 1
+        self.stats.on_packet_retransmitted(pkt)
+        if (not self.nord_bypass_available and faults.failed_nodes
+                and (pkt.src in faults.failed_nodes
+                     or pkt.dst in faults.failed_nodes)):
+            pkt.failed = True
+            self.stats.on_packet_failed(pkt)
+            return
+        faults.register_pending(pkt, self.now)
+        if self._outstanding == 0:
+            self._livelock_ref = self.now
+        self.nis[pkt.src].enqueue_packet(pkt)
+        self._active_nis.add(pkt.src)
+        self._outstanding += pkt.length
+
     def step(self) -> None:
         """Advance the network by one cycle."""
         self.now += 1
         now = self.now
+        if self._faults is not None:
+            self._faults.begin_cycle(self, now)
         if self._profile is not None:
             self._step_profiled(now)
         elif self.skip_inactive:
@@ -347,7 +513,7 @@ class Network:
             self._phase_links_full(now)
             self._phase_pg_full(now)
             self._phase_stats_full(now)
-        self._check_deadlock(now)
+        self._check_liveness(now)
 
     def _step_profiled(self, now: int) -> None:
         """One cycle with per-phase wall-clock + occupancy accounting."""
@@ -393,7 +559,11 @@ class Network:
                 if link is None or link.credits.empty:
                     continue
                 out = self.routers[link.src].out_ports[link.src_port]
-                for vc in link.credits.receive(now):
+                vcs = link.credits.receive(now)
+                if link.fault is not None:
+                    vcs = self._faults.filter_credits(link.fault, vcs,
+                                                      self.stats)
+                for vc in vcs:
                     out.credit[vc].restore()
 
     def _phase_credits_active(self, now: int) -> None:
@@ -404,7 +574,11 @@ class Network:
             node, port = key
             link = links_out[node][port]
             out = routers[node].out_ports[port]
-            for vc in link.credits.receive(now):
+            vcs = link.credits.receive(now)
+            if link.fault is not None:
+                vcs = self._faults.filter_credits(link.fault, vcs,
+                                                  self.stats)
+            for vc in vcs:
                 out.credit[vc].restore()
             if link.credits.empty:
                 active.discard(key)
@@ -485,7 +659,11 @@ class Network:
             for link in row:
                 if link is None or link.flits.empty:
                     continue
-                for flit, vc in link.flits.receive(now):
+                arrivals = link.flits.receive(now)
+                if link.fault is not None:
+                    self._faults.strike_flits(link.fault, arrivals,
+                                              self.stats)
+                for flit, vc in arrivals:
                     self._deliver(link.dst, link.dst_port, vc, flit)
         for node, line in enumerate(self.inject_lines):
             if line.empty:
@@ -502,7 +680,10 @@ class Network:
         flit_links = self._active_flit_links
         for key in flit_links.sorted():
             link = self.links_out[key[0]][key[1]]
-            for flit, vc in link.flits.receive(now):
+            arrivals = link.flits.receive(now)
+            if link.fault is not None:
+                self._faults.strike_flits(link.fault, arrivals, self.stats)
+            for flit, vc in arrivals:
                 self._deliver(link.dst, link.dst_port, vc, flit)
             if link.flits.empty:
                 flit_links.discard(key)
@@ -549,15 +730,24 @@ class Network:
     # ------------------------------------------------------------------
     # phase 6: power gating
     # ------------------------------------------------------------------
+    @property
+    def _no_pg_blanket(self) -> bool:
+        """No_PG normally has no per-controller PG work; with router
+        failures injected even No_PG must run the generic phase so a
+        fail-armed controller can reach its clean boundary."""
+        return (self.cfg.design == Design.NO_PG
+                and (self._faults is None
+                     or not self._faults.has_router_failures))
+
     def _phase_pg_full(self, now: int) -> None:
-        if self.cfg.design == Design.NO_PG:
+        if self._no_pg_blanket:
             for ctrl in self.controllers:
                 ctrl.cycles_on += 1
             return
         self._power_gate_phase()
 
     def _phase_pg_active(self, now: int) -> None:
-        if self.cfg.design == Design.NO_PG:
+        if self._no_pg_blanket:
             for ctrl in self.controllers:
                 ctrl.cycles_on += 1
             return
@@ -636,10 +826,30 @@ class Network:
                     self._on_nord_wake(node)
                 else:
                     self._on_conv_wake(node)
+            elif event == Transition.FAILED:
+                # The fail completed at a clean flit boundary: apply the
+                # normal gate-off side effects (credit clamps / port tags
+                # hold because the preconditions match), then mark the
+                # router dead.
+                if design == Design.NORD:
+                    self._on_nord_gate_off(node)
+                else:
+                    self._on_conv_gate_off(node)
+                self._on_fail_complete(node)
         self._wu_now.clear()
 
     def _gate_inputs(self, node: int, design: str) -> GateInputs:
         ctrl = self.controllers[node]
+        if ctrl.fail_armed and ctrl.state == PowerState.ON:
+            # A fail-armed router dies at the first clean flit boundary:
+            # the datapath must be empty and nothing committed toward it
+            # (incl. a local packet mid-injection), but WU is ignored -
+            # the fail does not wait for traffic to stop wanting it.
+            ni = self.nis[node]
+            empty = self.routers[node].empty
+            incoming = (not empty) or self._incoming_condition(node, design) \
+                or (ni.inj_path == "router" and ni.inj_sent > 0)
+            return GateInputs(empty=empty, incoming=incoming, wakeup=False)
         if ctrl.state == PowerState.WAKING:
             return GateInputs(empty=False, incoming=False, wakeup=False)
         if ctrl.state == PowerState.OFF:
@@ -804,32 +1014,76 @@ class Network:
                     self._idle_state[node] = True
                     self.stats.note_idle(node, now)
 
-    def _check_deadlock(self, now: int) -> None:
-        if self._outstanding > 0 and now - self._last_progress > self.deadlock_limit:
-            raise RuntimeError(self._deadlock_message(now))
+    def _check_liveness(self, now: int) -> None:
+        """The liveness watchdog: deadlock (nothing moved) and livelock
+        (flits moved but none ejected) both abort with typed, structured
+        diagnostics the harness can classify for retry/quarantine."""
+        if self._outstanding <= 0:
+            return
+        if now - self._last_progress > self.deadlock_limit:
+            diag = self.hang_diagnostics(now, "deadlock")
+            raise DeadlockError(self._hang_message(diag), diag)
+        if now - self._livelock_ref > self.livelock_limit:
+            diag = self.hang_diagnostics(now, "livelock")
+            raise LivelockError(self._hang_message(diag), diag)
 
-    def _deadlock_message(self, now: int) -> str:
-        """An actionable abort message: where the stuck flits sit and in
-        which power states, instead of a silent hang."""
-        stuck: List[str] = []
+    def hang_diagnostics(self, now: int, kind: str) -> Dict:
+        """Machine-readable snapshot of where the stuck flits sit (see
+        :mod:`repro.errors` for the layout)."""
+        routers = []
         for node, router in enumerate(self.routers):
-            buffered = sum(len(vc.fifo) for port in router.in_ports
-                           for vc in port.vcs)
+            buffered = 0
+            stuck_vcs: List[List[int]] = []
+            for port in router.in_ports:
+                for vc in port.vcs:
+                    if vc.fifo:
+                        buffered += len(vc.fifo)
+                        stuck_vcs.append([port.port_id, vc.vc_id])
             latched = sum(len(q) for q in self.nis[node].latch)
             queued = len(self.nis[node].inject_queue)
             if buffered or latched or queued:
-                state = self.controllers[node].state.name \
-                    if hasattr(self.controllers[node].state, "name") \
-                    else str(self.controllers[node].state)
-                stuck.append(f"  router {node} [{state}]: "
-                             f"{buffered} buffered, {latched} latched, "
-                             f"{queued} awaiting injection")
+                state = self.controllers[node].state
+                routers.append({
+                    "node": node,
+                    "state": PowerState.NAMES.get(state, str(state)),
+                    "buffered": buffered,
+                    "latched": latched,
+                    "queued": queued,
+                    "stuck_vcs": stuck_vcs,
+                })
+        limit = (self.deadlock_limit if kind == "deadlock"
+                 else self.livelock_limit)
+        return {
+            "kind": kind,
+            "design": self.cfg.design,
+            "cycle": now,
+            "outstanding_flits": self._outstanding,
+            "limit": limit,
+            "routers": routers,
+        }
+
+    def _hang_message(self, diag: Dict) -> str:
+        """An actionable abort message: where the stuck flits sit and in
+        which power states, instead of a silent hang."""
+        stuck = [f"  router {e['node']} [{e['state']}]: "
+                 f"{e['buffered']} buffered, {e['latched']} latched, "
+                 f"{e['queued']} awaiting injection"
+                 for e in diag["routers"]]
         detail = "\n".join(stuck) if stuck else \
             "  (all flits in flight on links/delay lines)"
+        if diag["kind"] == "livelock":
+            lead = (f"flits kept moving but none ejected for "
+                    f"{diag['limit']} cycles at cycle {diag['cycle']} with "
+                    f"{diag['outstanding_flits']} flits outstanding "
+                    f"(design={diag['design']}): possible livelock (check "
+                    f"the misroute cap / escape-VC convergence).\n")
+        else:
+            lead = (f"no flit movement for {diag['limit']} cycles at cycle "
+                    f"{diag['cycle']} with {diag['outstanding_flits']} "
+                    f"flits outstanding (design={diag['design']}): "
+                    f"possible deadlock.\n")
         return (
-            f"no flit movement for {self.deadlock_limit} cycles at cycle "
-            f"{now} with {self._outstanding} flits outstanding "
-            f"(design={self.cfg.design}): possible deadlock.\n"
+            lead +
             f"Flit locations:\n{detail}\n"
             f"Check escape-VC assignment (config.escape_vcs), power-gating "
             f"handshakes, and credit accounting; rerun with a smaller "
@@ -867,7 +1121,12 @@ class Network:
         snapshot_end = self._snapshot_counters()
         self.stats.stop_measurement(self.now)
         drained = 0
-        while self._outstanding > 0 and drained < drain:
+        while drained < drain and (
+                self._outstanding > 0
+                or (self._faults is not None and self._faults.busy)):
+            # With retransmission enabled the drain also waits for pending
+            # delivery confirmations, so timed-out packets get their
+            # bounded retries before the run ends.
             self.step()
             drained += 1
         return self._build_result(measure, snapshot_start, snapshot_end)
@@ -908,6 +1167,13 @@ class Network:
             total_wakeup_stalls=s.total_wakeup_stalls,
             flits_ejected=s.flits_ejected,
             link_flits=end["link_flits"] - start["link_flits"],
+            packets_failed=s.packets_failed,
+            packets_corrupted=s.packets_corrupted,
+            packets_duplicate=s.packets_duplicate,
+            packets_retransmitted=s.packets_retransmitted,
+            flits_corrupted=s.flits_corrupted,
+            flits_dropped=s.flits_dropped,
+            credits_lost=s.credits_lost,
             idle_periods=dict(s.idle_periods),
             censored_idle_periods=dict(s.censored_idle_periods),
         )

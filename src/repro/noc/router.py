@@ -90,6 +90,10 @@ class Router:
     def neighbor_awake(self, port: int) -> bool:
         return self.network.neighbor_awake(self.node, port)
 
+    def port_failed(self, port: int) -> bool:
+        """Whether the downstream router on ``port`` is hard-failed."""
+        return self.out_ports[port].failed
+
     # ------------------------------------------------------------------
     # datapath state
     # ------------------------------------------------------------------
@@ -108,6 +112,13 @@ class Router:
 
     def deliver(self, in_port: int, vc_id: int, flit: Flit) -> None:
         """LT completion: write an arriving flit into its input VC."""
+        if flit.packet.failed:
+            # Straggler of a packet already dropped at a hard-failed
+            # router: discard it, return the credit, and release the
+            # upstream VC on the tail so the wormhole unwinds cleanly.
+            self.network.fault_discard_in_flight(self.node, in_port, vc_id,
+                                                 flit)
+            return
         vc = self.in_ports[in_port].vcs[vc_id]
         vc.push(flit)
         self.n_buffer_writes += 1
@@ -135,6 +146,7 @@ class Router:
         occ = self._all_vcs if occupied is None else occupied
         # Input-first: each input port nominates one eligible VC.
         nominees: Optional[List[Optional[VirtualChannel]]] = None
+        drops: Optional[List[Tuple[int, VirtualChannel]]] = None
         n_nominated = 0
         last_nominated = -1
         for p, port in enumerate(self.in_ports):
@@ -152,6 +164,14 @@ class Router:
                     continue
                 out = self.out_ports[route]
                 if out.gated:
+                    if out.failed:
+                        # Hard-failed neighbor: this wakeup will never
+                        # come.  Record the packet as failed and drop it
+                        # (after the scan: dropping mutates occupied_vcs).
+                        if drops is None:
+                            drops = []
+                        drops.append((p, vc))
+                        continue
                     # Conventional PG: the port is unavailable in SA; the
                     # stalled request asserts WU toward the sleeping router.
                     vc.stalled_for_wakeup = True
@@ -172,6 +192,9 @@ class Router:
                 nominees[p] = port.vcs[choice]
                 n_nominated += 1
                 last_nominated = p
+        if drops is not None:
+            for p, vc in drops:
+                self._drop_failed_packet(p, vc, now)
         if nominees is None:
             return
         if n_nominated == 1:
@@ -193,6 +216,34 @@ class Router:
             winner_port = self._sa_out_arb[out_port].grant_from(reqs)
             vc = nominees[winner_port]
             self._traverse(vc, winner_port, now)
+
+    def _drop_failed_packet(self, in_port: int, vc: VirtualChannel,
+                            now: int) -> None:
+        """Discard a packet routed toward a hard-failed router.
+
+        SA never grants through a failed port and a router only fails at
+        a clean flit boundary, so the packet has sent no flit downstream
+        (``flits_sent == 0``): the drop is entirely local.  Credits for
+        the buffered flits return upstream; flits of this packet still in
+        flight are discarded on arrival via :meth:`deliver`.
+        """
+        pkt = vc.fifo[0].packet
+        pkt.failed = True
+        # Release the downstream VC this packet was granted (no flit
+        # crossed, so the downstream buffer never saw it).
+        self.out_ports[vc.route_port].vc_owner[vc.out_vc] = None
+        saw_tail = False
+        while vc.fifo:
+            flit = vc.pop()
+            saw_tail = flit.is_tail
+            self.network.fault_drop_buffered(self.node, in_port, vc.vc_id,
+                                             flit, now)
+        if saw_tail:
+            self.network.release_upstream_owner(self.node, in_port, vc.vc_id)
+        vc.reset_route()
+        vc.state = VCState.IDLE
+        self.occupied_vcs[in_port].remove(vc.vc_id)
+        self.network.note_packet_killed(pkt)
 
     def _traverse(self, vc: VirtualChannel, in_port: int, now: int) -> None:
         """Pop the flit, cross the switch, and launch link traversal."""

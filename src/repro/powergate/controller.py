@@ -36,6 +36,10 @@ class Transition:
     GATED_OFF = "gated_off"
     WAKE_STARTED = "wake_started"
     WOKE = "woke"
+    #: A fail-armed router reached a clean flit boundary and is now
+    #: permanently off (fault injection; not a power-gating event, so it
+    #: does not count toward ``gate_offs``).
+    FAILED = "failed"
 
 
 @dataclass
@@ -68,6 +72,18 @@ class PowerGateController:
         self.state = PowerState.ON
         self._wake_left = 0
         self._idle_run = 0
+        # --- fault injection (see repro.faults) ---
+        #: Hard-fail pending: gate off permanently at the next clean flit
+        #: boundary (datapath empty, nothing committed toward us).
+        self.fail_armed = False
+        #: Hard-fail complete: permanently OFF, never wakes; ``gateable``
+        #: is irrelevant because step() short-circuits before checking it.
+        self.failed = False
+        #: Stuck-wakeup faults: ignore WU entirely, or require it to stay
+        #: asserted ``wu_delay`` extra cycles before honoring it.
+        self.wu_ignore = False
+        self.wu_delay = 0
+        self._wu_held = 0
         # --- statistics ---
         self.wakeups = 0
         self.gate_offs = 0
@@ -94,6 +110,10 @@ class PowerGateController:
     def step(self, inputs: GateInputs) -> Optional[str]:
         """Advance one cycle; return a Transition event or None."""
         self._account()
+        if self.failed:
+            return None
+        if self.fail_armed:
+            return self._step_fail_armed(inputs)
         if not self.gateable:
             return None
         if self.state == PowerState.ON:
@@ -110,10 +130,18 @@ class PowerGateController:
             return None
         if self.state == PowerState.OFF:
             if inputs.wakeup:
+                if self.wu_ignore:
+                    return None
+                if self.wu_delay:
+                    self._wu_held += 1
+                    if self._wu_held <= self.wu_delay:
+                        return None
+                self._wu_held = 0
                 self.state = PowerState.WAKING
                 self._wake_left = self.pg.wakeup_latency
                 self.wakeups += 1
                 return Transition.WAKE_STARTED
+            self._wu_held = 0
             return None
         # WAKING: the wakeup always completes once started (de-asserting WU
         # mid-wake does not cancel it; the energy is already being spent).
@@ -122,6 +150,30 @@ class PowerGateController:
             self.state = PowerState.ON
             self._idle_run = 0
             return Transition.WOKE
+        return None
+
+    def _step_fail_armed(self, inputs: GateInputs) -> Optional[str]:
+        """Advance an armed hard-fail toward completion.
+
+        The fail takes effect at the first *clean flit boundary*: the
+        datapath is empty and nothing is committed toward this router, so
+        no wormhole is cut mid-packet and all flow-control invariants
+        (credits, VC ownership) hold at the instant the router dies.  An
+        in-progress wakeup is allowed to finish first (the energy is
+        already spent); the router then fails from ON.
+        """
+        if self.state == PowerState.WAKING:
+            self._wake_left -= 1
+            if self._wake_left <= 0:
+                self.state = PowerState.ON
+                self._idle_run = 0
+                return Transition.WOKE
+            return None
+        if inputs.empty and not inputs.incoming:
+            self.state = PowerState.OFF
+            self.fail_armed = False
+            self.failed = True
+            return Transition.FAILED
         return None
 
     def _account(self) -> None:

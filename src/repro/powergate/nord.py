@@ -74,6 +74,6 @@ class NoRDController(PowerGateController):
 
     @property
     def wakeup_wanted(self) -> bool:
-        if self.force_off:
+        if self.force_off or self.failed or self.fail_armed:
             return False
         return self.window_requests >= self.threshold

@@ -23,6 +23,11 @@ class AdaptiveXYEscape(RoutingFunction):
     def route(self, router: RouterView, packet: Packet) -> RouteChoice:
         node = router.node
         minimal = self.mesh.minimal_ports(node, packet.dst)
+        # Route around hard-failed neighbors when a live minimal option
+        # exists (no-op without fault injection: port_failed is never set).
+        alive = [p for p in minimal if not router.port_failed(p)]
+        if alive:
+            minimal = alive
         # Prefer ports whose downstream router is awake; fall back to gated
         # ports (the packet will wake the neighbor from the SA stage).
         awake = [p for p in minimal if router.neighbor_awake(p)]

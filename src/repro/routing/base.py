@@ -50,6 +50,7 @@ class RouterView(Protocol):
 
     def port_usable(self, port: int) -> bool: ...
     def neighbor_awake(self, port: int) -> bool: ...
+    def port_failed(self, port: int) -> bool: ...
 
 
 class RoutingFunction:

@@ -72,6 +72,22 @@ class RunResult:
     total_wakeup_stalls: int = 0
     flits_ejected: int = 0
     link_flits: int = 0
+    # -- fault accounting (all zero without a FaultPlan) -------------------
+    #: In-window packets permanently lost: rejected at the source
+    #: (unreachable endpoint), dropped at a hard-failed router, delivered
+    #: corrupted with no retransmission, or retries exhausted.
+    packets_failed: int = 0
+    #: In-window packets that arrived corrupted (each delivery attempt).
+    packets_corrupted: int = 0
+    #: Duplicate deliveries filtered by sequence number (a retransmission
+    #: raced a slow original).
+    packets_duplicate: int = 0
+    #: Retransmission attempts launched for in-window packets.
+    packets_retransmitted: int = 0
+    #: Flit-level fault events over the whole run (diagnostics).
+    flits_corrupted: int = 0
+    flits_dropped: int = 0
+    credits_lost: int = 0
     routers: List[RouterActivity] = field(default_factory=list)
     #: Histogram of idle-period lengths over all routers: length -> count.
     #: Only *completed* periods (the router went busy again in-window).
@@ -93,6 +109,14 @@ class RunResult:
         if self.packets_measured == 0:
             return float("nan")
         return self.total_hops / self.packets_measured
+
+    @property
+    def delivered_fraction(self) -> float:
+        """Fraction of in-window packets delivered intact (the headline
+        resilience metric; 1.0 for any fault-free run)."""
+        if self.packets_created == 0:
+            return 1.0
+        return self.packets_measured / self.packets_created
 
     @property
     def throughput_flits_per_node_cycle(self) -> float:
@@ -174,6 +198,14 @@ class StatsCollector:
         self.total_bypass_hops = 0
         self.total_wakeup_stalls = 0
         self.flits_ejected = 0
+        # Fault accounting (see RunResult for the semantics).
+        self.packets_failed = 0
+        self.packets_corrupted = 0
+        self.packets_duplicate = 0
+        self.packets_retransmitted = 0
+        self.flits_corrupted = 0
+        self.flits_dropped = 0
+        self.credits_lost = 0
         # Idle tracking.  Two producer APIs feed the same histograms:
         # the edge API (note_idle/note_busy, used by the buffered
         # Network's cycle kernel) and the legacy per-cycle API
@@ -238,6 +270,33 @@ class StatsCollector:
             self.total_misroutes += packet.misroutes
             self.total_bypass_hops += packet.bypass_hops
             self.total_wakeup_stalls += packet.wakeup_stall_cycles
+
+    # -- fault-event hooks (no-ops in fault-free runs) -----------------------
+    def on_packet_failed(self, packet: "Packet") -> None:
+        """The packet is permanently lost (in-window packets only)."""
+        if self.in_window(packet.created_cycle):
+            self.packets_failed += 1
+
+    def on_packet_corrupted(self, packet: "Packet") -> None:
+        if self.in_window(packet.created_cycle):
+            self.packets_corrupted += 1
+
+    def on_packet_duplicate(self, packet: "Packet") -> None:
+        if self.in_window(packet.created_cycle):
+            self.packets_duplicate += 1
+
+    def on_packet_retransmitted(self, packet: "Packet") -> None:
+        if self.in_window(packet.created_cycle):
+            self.packets_retransmitted += 1
+
+    def on_flit_corrupted(self) -> None:
+        self.flits_corrupted += 1
+
+    def on_flit_dropped(self) -> None:
+        self.flits_dropped += 1
+
+    def on_credit_lost(self) -> None:
+        self.credits_lost += 1
 
     def note_idle(self, node: int, cycle: int) -> None:
         """Edge API: the router's datapath emptied at ``cycle`` (or was

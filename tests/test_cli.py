@@ -31,6 +31,32 @@ class TestParser:
         with pytest.raises(SystemExit):
             build_parser().parse_args(["simulate", "--design", "MagicPG"])
 
+    def test_resilience_knobs(self):
+        args = build_parser().parse_args(
+            ["run-all", "--timeout", "120", "--retries", "2", "--partial"])
+        assert args.timeout == 120.0
+        assert args.retries == 2
+        assert args.partial is True
+
+    def test_resilience_knob_defaults(self):
+        args = build_parser().parse_args(["run-all"])
+        assert args.timeout is None
+        assert args.retries == 0
+        assert args.partial is False
+
+    def test_rejects_negative_retries(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["run-all", "--retries", "-1"])
+
+    def test_simulate_fault_flags(self):
+        args = build_parser().parse_args(
+            ["simulate", "--fail-router", "5", "--fail-cycle", "100",
+             "--corrupt-rate", "0.002", "--retransmit"])
+        assert args.fail_router == 5
+        assert args.fail_cycle == 100
+        assert args.corrupt_rate == 0.002
+        assert args.retransmit is True
+
 
 class TestMain:
     def test_list(self, capsys):
@@ -53,3 +79,16 @@ class TestMain:
         assert main(["simulate", "--design", "Conv_PG",
                      "--traffic", "swaptions", "--scale", "smoke"]) == 0
         assert "Conv_PG" in capsys.readouterr().out
+
+    def test_simulate_with_router_failure(self, capsys):
+        assert main(["simulate", "--design", "NoRD", "--traffic", "uniform",
+                     "--rate", "0.05", "--scale", "smoke", "--seed", "7",
+                     "--fail-router", "5"]) == 0
+        out = capsys.readouterr().out
+        assert "delivered fraction" in out
+        assert "1.0000" in out  # NoRD serves the dead node via the ring
+
+    def test_simulate_without_faults_hides_fault_rows(self, capsys):
+        assert main(["simulate", "--design", "NoRD", "--traffic", "uniform",
+                     "--rate", "0.05", "--scale", "smoke"]) == 0
+        assert "delivered fraction" not in capsys.readouterr().out

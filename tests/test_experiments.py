@@ -155,6 +155,42 @@ class TestFig14:
             low[Design.CONV_PG_OPT].off_fraction
 
 
+class TestResilienceSweep:
+    @pytest.fixture(scope="class")
+    def res(self):
+        from repro.experiments import resilience_sweep
+        return resilience_sweep.run(scale=SCALE, seed=SEED)
+
+    def test_baseline_is_clean(self, res):
+        for design in Design.ALL:
+            r = res.results["fault-free"][design]
+            assert r.delivered_fraction == 1.0
+            assert r.packets_failed == 0 and r.packets_corrupted == 0
+
+    def test_nord_survives_router_failure(self, res):
+        assert res.results["router-fail"][Design.NORD] \
+            .delivered_fraction == 1.0
+
+    def test_conventional_designs_shed_traffic(self, res):
+        for design in (Design.NO_PG, Design.CONV_PG, Design.CONV_PG_OPT):
+            r = res.results["router-fail"][design]
+            assert r.packets_failed > 0
+            assert r.delivered_fraction < 1.0
+
+    def test_retransmission_heals_link_noise(self, res):
+        for design in Design.ALL:
+            r = res.results["link-noise"][design]
+            assert r.delivered_fraction == 1.0
+            assert r.packets_retransmitted >= r.packets_corrupted > 0
+
+    def test_report_contents(self, res):
+        from repro.experiments import resilience_sweep
+        text = resilience_sweep.report(res)
+        assert "delivered" in text and "inflation" in text
+        assert "router-fail" in text and "link-noise" in text
+        assert "bypass ring" in text
+
+
 class TestAreaAndTable:
     def test_area_overhead(self):
         res = area_overhead.run()
@@ -172,7 +208,8 @@ class TestRunner:
     def test_registry_covers_all_figures(self):
         expected = {"table1", "fig1", "fig3", "fig6", "fig7", "fig8",
                     "fig9", "fig10", "fig11", "fig12", "fig13", "fig14",
-                    "fig15", "area", "discussion", "bufferless"}
+                    "fig15", "area", "discussion", "bufferless",
+                    "resilience"}
         assert set(EXPERIMENTS) == expected
 
     def test_unknown_experiment_rejected(self):

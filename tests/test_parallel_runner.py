@@ -240,3 +240,228 @@ class TestSweepRunner:
             jobs=1, cache=ResultCache(tmp_path)).run_one(point)
         assert result.design == "Bufferless"
         assert energy.design == "Bufferless"
+
+
+# ---------------------------------------------------------------------------
+# fault plans in design points
+# ---------------------------------------------------------------------------
+class TestFaultPoints:
+    def test_fault_plan_perturbs_cache_key(self):
+        from repro.faults import FaultPlan
+        p = smoke_points()[0]
+        faulted = dataclasses.replace(
+            p, faults=FaultPlan.single_router_failure(5, 60))
+        reseeded = dataclasses.replace(
+            p, faults=FaultPlan.single_router_failure(5, 60, seed=2))
+        keys = {p.cache_key(), faulted.cache_key(), reseeded.cache_key()}
+        assert len(keys) == 3
+
+    def test_empty_plan_shares_the_fault_free_entry(self):
+        """FaultPlan() is proven byte-identical to no plan, so both must
+        hit the same cache entry."""
+        from repro.faults import FaultPlan
+        p = smoke_points()[0]
+        empty = dataclasses.replace(p, faults=FaultPlan())
+        assert empty.cache_key() == p.cache_key()
+
+    def test_faulted_outcome_cached_and_identical(self, tmp_path):
+        from repro.faults import FaultPlan
+        point = DesignPoint(
+            cfg=build_config(Design.NORD, "smoke", seed=7),
+            traffic=uniform_spec(0.05, seed=7),
+            faults=FaultPlan.single_router_failure(5, 60))
+        runner = SweepRunner(jobs=1, cache=ResultCache(tmp_path))
+        first = runner.run_one(point)
+        second = runner.run_one(point)
+        assert runner.stats.snapshot() == (1, 1)
+        assert result_blob(first) == result_blob(second)
+        assert first[0].delivered_fraction == 1.0  # NoRD survives
+
+    def test_bufferless_rejects_faults(self):
+        from repro.faults import FaultPlan
+        with pytest.raises(ValueError, match="bufferless"):
+            DesignPoint(cfg=build_config(Design.NO_PG, "smoke"),
+                        traffic=uniform_spec(0.05),
+                        network=parallel.BUFFERLESS_NETWORK,
+                        faults=FaultPlan.single_router_failure(0, 1))
+
+
+# ---------------------------------------------------------------------------
+# cache quarantine
+# ---------------------------------------------------------------------------
+class TestQuarantine:
+    def test_truncated_json_is_quarantined(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        path = cache.path_for("broken")
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text('{"format":')
+        assert cache.get("broken") is None
+        assert cache.quarantined == 1
+        assert not path.exists()
+        corrupt = path.with_suffix(".corrupt")
+        assert corrupt.exists()
+        assert corrupt.read_text() == '{"format":'  # kept for post-mortem
+
+    def test_wrong_shape_is_quarantined(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        cache.directory.mkdir(parents=True, exist_ok=True)
+        cache.path_for("shape").write_text(json.dumps(
+            {"format": parallel.CACHE_FORMAT, "result": {"nope": 1},
+             "energy": {}}))
+        cache.path_for("list").write_text(json.dumps([1, 2, 3]))
+        assert cache.get("shape") is None
+        assert cache.get("list") is None
+        assert cache.quarantined == 2
+
+    def test_stale_format_is_not_quarantined(self, tmp_path):
+        """Old-format entries are honest misses, not corruption: put()
+        overwrites them in place."""
+        cache = ResultCache(tmp_path)
+        cache.directory.mkdir(parents=True, exist_ok=True)
+        cache.path_for("old").write_text(json.dumps({"format": -1}))
+        assert cache.get("old") is None
+        assert cache.quarantined == 0
+        assert cache.path_for("old").exists()
+
+    def test_missing_file_is_not_quarantined(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        assert cache.get("never-written") is None
+        assert cache.quarantined == 0
+
+    def test_quarantined_entry_refills_on_next_run(self, tmp_path):
+        """After quarantine the next sweep recomputes and re-caches."""
+        cache = ResultCache(tmp_path)
+        runner = SweepRunner(jobs=1, cache=cache)
+        point = smoke_points(designs=(Design.NO_PG,))[0]
+        first = runner.run_one(point)
+        cache.path_for(point.cache_key()).write_text("garbage")
+        second = runner.run_one(point)
+        assert cache.quarantined == 1
+        assert runner.stats.snapshot() == (0, 2)
+        assert result_blob(first) == result_blob(second)
+        # the refreshed entry is valid again
+        assert cache.get(point.cache_key()) is not None
+
+
+# ---------------------------------------------------------------------------
+# timeouts, retries, partial-results mode
+# ---------------------------------------------------------------------------
+def wedged_point(seed=7):
+    """A design point that deterministically hangs (credit loss wedges a
+    VC; the tightened deadlock limit makes the watchdog fire fast)."""
+    from repro.faults import FaultPlan
+    return DesignPoint(
+        cfg=build_config(Design.CONV_PG, "smoke", seed=seed),
+        traffic=uniform_spec(0.10, seed=seed),
+        prepare="tight_deadlock_limit",
+        faults=FaultPlan.uniform_link_noise(credit_loss_rate=0.05, seed=5))
+
+
+@parallel.register_prepare("tight_deadlock_limit")
+def _tight_deadlock_limit(net):
+    net.deadlock_limit = 300
+
+
+def slow_point():
+    """A run far too long to finish inside a ~1s timeout."""
+    return DesignPoint(
+        cfg=build_config(Design.NORD, "smoke", seed=3,
+                         warmup_cycles=1_000, measure_cycles=500_000),
+        traffic=uniform_spec(0.10, seed=3))
+
+
+class TestResilientRunner:
+    def test_hang_raises_typed_error_in_strict_mode(self, tmp_path):
+        from repro.errors import DeadlockError, SimulationHang
+        runner = SweepRunner(jobs=1, cache=ResultCache(tmp_path))
+        with pytest.raises(SimulationHang) as excinfo:
+            runner.run([wedged_point()])
+        err = excinfo.value
+        assert isinstance(err, DeadlockError)
+        assert err.stuck_routers  # diagnostics crossed the guard intact
+
+    def test_hang_is_retried_then_recorded_in_partial_mode(self, tmp_path):
+        runner = SweepRunner(jobs=1, cache=ResultCache(tmp_path),
+                             retries=2, retry_backoff=0.0, partial=True)
+        good = smoke_points(designs=(Design.NORD,))[0]
+        outcomes = runner.run([wedged_point(), good])
+        assert outcomes[0] is None
+        assert outcomes[1] is not None  # the sweep survived
+        assert runner.stats.retried == 2
+        assert runner.stats.failures == 1
+        failed = runner.failures[0]
+        assert failed.kind == "hang" and failed.retryable
+        assert failed.attempts == 3
+        assert failed.diagnostics["kind"] == "deadlock"
+
+    def test_failed_runs_are_never_cached(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        runner = SweepRunner(jobs=1, cache=cache, partial=True)
+        point = wedged_point()
+        runner.run([point])
+        assert cache.get(point.cache_key()) is None
+        assert not list(tmp_path.glob("*.json"))
+
+    def test_timeout_in_process(self, tmp_path):
+        import time
+        runner = SweepRunner(jobs=1, cache=ResultCache(tmp_path),
+                             timeout=1.0, partial=True)
+        start = time.monotonic()
+        outcomes = runner.run([slow_point()])
+        assert time.monotonic() - start < 30
+        assert outcomes == [None]
+        assert runner.failures[0].kind == "timeout"
+        assert "timeout" in runner.failures[0].message
+
+    def test_timeout_in_worker_pool(self, tmp_path):
+        runner = SweepRunner(jobs=2, cache=ResultCache(tmp_path),
+                             timeout=1.0, partial=True)
+        good = smoke_points(designs=(Design.NO_PG,))[0]
+        outcomes = runner.run([slow_point(), good])
+        assert outcomes[0] is None and outcomes[1] is not None
+        assert runner.failures[0].kind == "timeout"
+
+    def test_timeout_raises_in_strict_mode(self, tmp_path):
+        from repro.errors import RunTimeout
+        runner = SweepRunner(jobs=1, cache=ResultCache(tmp_path),
+                             timeout=1.0)
+        with pytest.raises(RunTimeout):
+            runner.run([slow_point()])
+
+    def test_error_failures_are_not_retried(self, tmp_path, monkeypatch):
+        """Deterministic (non-hang) errors fail fast: no retry rounds."""
+        calls = {"n": 0}
+
+        def boom(point, timeout):
+            calls["n"] += 1
+            return ("error", "ValueError: bad config", {})
+        monkeypatch.setattr(parallel, "_guarded_execute", boom)
+        runner = SweepRunner(jobs=1, cache=ResultCache(tmp_path),
+                             retries=5, retry_backoff=0.0, partial=True)
+        outcomes = runner.run(smoke_points(designs=(Design.NO_PG,)))
+        assert outcomes == [None]
+        assert calls["n"] == 1
+        assert runner.stats.retried == 0
+        assert runner.failures[0].kind == "error"
+        assert not runner.failures[0].retryable
+
+    def test_rejects_bad_knobs(self):
+        with pytest.raises(ValueError):
+            SweepRunner(timeout=0)
+        with pytest.raises(ValueError):
+            SweepRunner(retries=-1)
+        with pytest.raises(ValueError):
+            parallel.configure(timeout=-1)
+        with pytest.raises(ValueError):
+            parallel.configure(retries=-2)
+
+    def test_configure_sets_resilience_knobs(self):
+        runner = parallel.get_runner()
+        old = (runner.timeout, runner.retries, runner.partial)
+        try:
+            parallel.configure(timeout=5.0, retries=2, partial=True)
+            assert runner.timeout == 5.0
+            assert runner.retries == 2
+            assert runner.partial is True
+        finally:
+            runner.timeout, runner.retries, runner.partial = old

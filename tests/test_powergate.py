@@ -168,3 +168,123 @@ class TestNoRDController:
     def test_performance_centric_flag(self):
         ctrl = NoRDController(4, pg(), threshold=1, performance_centric=True)
         assert ctrl.performance_centric
+
+
+class TestStateMachineEdges:
+    """Edge cases of the gate/wake state machine."""
+
+    def test_wakeup_during_gateable_window_blocks_gating(self):
+        """WU asserted the same cycle gating would trigger wins: the
+        router stays on instead of gating and immediately re-waking."""
+        ctrl = ConvPGController(0, pg())
+        assert ctrl.step(GateInputs(True, False, True)) is None
+        assert ctrl.state == PowerState.ON
+        assert ctrl.gate_offs == 0 and ctrl.wakeups == 0
+
+    def test_wakeup_mid_drain_to_off(self):
+        """A wakeup arriving the cycle after gate-off is honored from
+        OFF - the transition sequence is GATED_OFF -> WAKE_STARTED with
+        no lost events."""
+        ctrl = ConvPGController(0, pg(wakeup_latency=2))
+        assert ctrl.step(IDLE) == Transition.GATED_OFF
+        assert ctrl.step(WAKE) == Transition.WAKE_STARTED
+        assert ctrl.state == PowerState.WAKING
+
+    def test_back_to_back_gate_wake_within_bet_window(self):
+        """Gate/wake thrashing faster than the breakeven time is legal
+        for the state machine; every transition is counted so the energy
+        model can charge the (lossy) overhead per wakeup."""
+        bet = pg().breakeven_time
+        ctrl = ConvPGController(0, pg(wakeup_latency=2))
+        for _ in range(3):
+            assert ctrl.step(IDLE) == Transition.GATED_OFF
+            assert ctrl.step(WAKE) == Transition.WAKE_STARTED
+            assert ctrl.step(IDLE) is None
+            assert ctrl.step(IDLE) == Transition.WOKE
+        # each gate->wake round trip took 4 cycles, well inside the BET
+        assert 4 < bet + ctrl.pg.wakeup_latency
+        assert ctrl.gate_offs == 3 and ctrl.wakeups == 3
+
+    def test_gateable_pinned_false_never_gates(self):
+        """No_PG's gateable=False pins the router on through anything."""
+        ctrl = NoPGController(0, pg())
+        assert not ctrl.gateable
+        for inputs in (IDLE, WAKE, IC, BUSY) * 25:
+            assert ctrl.step(inputs) is None
+        assert ctrl.state == PowerState.ON
+        assert ctrl.gate_offs == 0 and ctrl.wakeups == 0
+
+    def test_wake_then_immediate_regate(self):
+        """After WOKE the idle run restarts from zero: Conv_PG_OPT needs
+        min_idle fresh idle cycles before gating again."""
+        ctrl = ConvPGOptController(0, pg(min_idle_before_gate=4,
+                                         wakeup_latency=1))
+        for _ in range(4):
+            ctrl.step(IDLE)
+        assert ctrl.state == PowerState.OFF
+        ctrl.step(WAKE)
+        assert ctrl.step(IDLE) == Transition.WOKE
+        events = [ctrl.step(IDLE) for _ in range(4)]
+        assert events[:3] == [None] * 3
+        assert events[3] == Transition.GATED_OFF
+
+
+class TestFaultHooks:
+    """Fail-armed / failed / stuck-wakeup behaviour of the controller."""
+
+    def test_fail_armed_waits_for_clean_boundary(self):
+        ctrl = ConvPGController(0, pg())
+        ctrl.fail_armed = True
+        assert ctrl.step(BUSY) is None          # flits buffered: wait
+        assert ctrl.step(IC) is None            # flits inbound: wait
+        assert ctrl.state == PowerState.ON
+        assert ctrl.step(IDLE) == Transition.FAILED
+        assert ctrl.failed and not ctrl.fail_armed
+        assert ctrl.state == PowerState.OFF
+        assert ctrl.gate_offs == 0              # not a power-gating event
+
+    def test_failed_controller_ignores_everything(self):
+        ctrl = ConvPGController(0, pg())
+        ctrl.fail_armed = True
+        ctrl.step(IDLE)
+        for inputs in (WAKE, BUSY, IC, IDLE) * 25:
+            assert ctrl.step(inputs) is None
+        assert ctrl.state == PowerState.OFF
+        assert ctrl.wakeups == 0
+
+    def test_fail_armed_lets_inflight_wakeup_finish(self):
+        """An in-progress wakeup completes before the fail lands (the
+        energy is spent either way); the fail then needs its boundary."""
+        ctrl = ConvPGController(0, pg(wakeup_latency=2))
+        ctrl.step(IDLE)                          # gate off
+        ctrl.step(WAKE)                          # start waking
+        ctrl.fail_armed = True
+        assert ctrl.step(IDLE) is None
+        assert ctrl.step(IDLE) == Transition.WOKE
+        assert ctrl.state == PowerState.ON and ctrl.fail_armed
+        assert ctrl.step(IDLE) == Transition.FAILED
+
+    def test_wu_ignore_never_wakes(self):
+        ctrl = ConvPGController(0, pg())
+        ctrl.wu_ignore = True
+        ctrl.step(IDLE)
+        for _ in range(50):
+            assert ctrl.step(WAKE) is None
+        assert ctrl.state == PowerState.OFF and ctrl.wakeups == 0
+
+    def test_wu_delay_requires_sustained_assertion(self):
+        ctrl = ConvPGController(0, pg(wakeup_latency=1))
+        ctrl.wu_delay = 3
+        ctrl.step(IDLE)                          # gate off
+        assert [ctrl.step(WAKE) for _ in range(3)] == [None] * 3
+        assert ctrl.step(WAKE) == Transition.WAKE_STARTED
+        assert ctrl.wakeups == 1
+
+    def test_wu_delay_resets_when_deasserted(self):
+        ctrl = ConvPGController(0, pg())
+        ctrl.wu_delay = 2
+        ctrl.step(IDLE)
+        ctrl.step(WAKE)                          # held 1
+        ctrl.step(IDLE)                          # deasserted: reset
+        assert [ctrl.step(WAKE) for _ in range(2)] == [None] * 2
+        assert ctrl.step(WAKE) == Transition.WAKE_STARTED

@@ -13,11 +13,16 @@ from repro.routing.xy import XYRouting, xy_port
 class FakeRouter:
     """Minimal RouterView for routing-function unit tests."""
 
-    def __init__(self, node, mesh, off=frozenset(), ring=None):
+    def __init__(self, node, mesh, off=frozenset(), ring=None,
+                 failed=frozenset()):
         self.node = node
         self.mesh = mesh
         self.off = set(off)
         self.ring = ring
+        self.failed = set(failed)
+
+    def port_failed(self, port):
+        return port in self.failed
 
     def neighbor_awake(self, port):
         nbr = self.mesh.neighbor(self.node, port)
@@ -85,6 +90,20 @@ class TestAdaptiveXYEscape:
         still routes to one and wakes it from the SA stage."""
         routing = AdaptiveXYEscape(mesh, 4)
         router = FakeRouter(0, mesh, off={1, 4})
+        choice = routing.route(router, Packet(0, 5, 1, 0))
+        assert set(choice.adaptive_ports) == {EAST, NORTH}
+
+    def test_steers_around_failed_ports(self, mesh):
+        routing = AdaptiveXYEscape(mesh, 4)
+        router = FakeRouter(0, mesh, failed={EAST})
+        choice = routing.route(router, Packet(0, 5, 1, 0))
+        assert choice.adaptive_ports == [NORTH]
+
+    def test_all_minimal_ports_failed_keeps_offering(self, mesh):
+        """With no live minimal port the choice is unchanged; SA drops the
+        packet at the failed port and records it."""
+        routing = AdaptiveXYEscape(mesh, 4)
+        router = FakeRouter(0, mesh, failed={EAST, NORTH})
         choice = routing.route(router, Packet(0, 5, 1, 0))
         assert set(choice.adaptive_ports) == {EAST, NORTH}
 

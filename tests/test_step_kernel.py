@@ -49,6 +49,31 @@ class TestByteIdentity:
                           traffic="blackscholes")
         assert fast.to_dict() == full.to_dict()
 
+    @pytest.mark.parametrize("design", [Design.NORD, Design.CONV_PG])
+    def test_faulted_run_env_escape_hatch(self, design, monkeypatch):
+        """REPRO_NO_SKIP=1 vs the default skip kernel, with live faults:
+        the fault RNG draws in phase order, so both kernels must consume
+        it identically."""
+        from repro.faults import FaultPlan
+        plan = FaultPlan(
+            router_failures=(
+                FaultPlan.single_router_failure(5, 60)
+                .router_failures),
+            link_faults=FaultPlan.uniform_link_noise(
+                corrupt_rate=2e-3, seed=11).link_faults,
+            seed=11, retransmit=True, retransmit_timeout=200)
+
+        def faulted(design):
+            cfg = build_config(design, "smoke", seed=3)
+            net = Network(cfg, fault_plan=plan)
+            return net.run(uniform_random(net.mesh, 0.08, seed=3))
+        fast = faulted(design)
+        monkeypatch.setenv("REPRO_NO_SKIP", "1")
+        full = faulted(design)
+        assert fast.to_dict() == full.to_dict()
+        assert (fast.packets_failed or fast.packets_retransmitted
+                or fast.flits_corrupted)  # faults actually fired
+
 
 class TestSkipSwitch:
     def test_enabled_by_default(self):
