@@ -20,7 +20,8 @@ import sys
 
 from repro.config import Design
 from repro.experiments.fig14_load_sweep import sweep
-from repro.experiments.common import uniform_factory
+from repro.experiments.common import example_scale
+from repro.experiments.parallel import uniform_spec
 from repro.stats.report import format_table
 
 DESIGNS = (Design.NO_PG, Design.CONV_PG_OPT, Design.NORD)
@@ -41,8 +42,8 @@ def main() -> None:
     height = int(sys.argv[2]) if len(sys.argv) > 2 else 4
     print(f"Sweeping {width}x{height} mesh, uniform random, "
           f"rates {RATES} ...\n")
-    res = sweep(DESIGNS, RATES, uniform_factory, width=width, height=height,
-                pattern="uniform random", scale="bench", seed=1)
+    res = sweep(DESIGNS, RATES, uniform_spec, width=width, height=height,
+                pattern="uniform random", scale=example_scale(), seed=1)
     rates = sorted(res.points)
     rows = []
     for rate in rates:

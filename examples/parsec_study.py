@@ -16,7 +16,7 @@ full ten-benchmark sweep is what ``python -m repro run-all`` does).
 import sys
 
 from repro.config import Design
-from repro.experiments.common import parsec_sweep
+from repro.experiments.common import example_scale, parsec_sweep
 from repro.stats.report import format_table, percent
 from repro.traffic.parsec import BENCHMARKS
 
@@ -29,9 +29,10 @@ def main() -> None:
     if unknown:
         raise SystemExit(f"unknown benchmarks {unknown}; "
                          f"choose from {list(BENCHMARKS)}")
+    scale = example_scale()
     print(f"Running {len(benchmarks)} benchmark(s) x 4 designs "
-          f"(bench scale)...\n")
-    sweep = parsec_sweep("bench", seed=1, benchmarks=benchmarks)
+          f"({scale} scale)...\n")
+    sweep = parsec_sweep(scale, seed=1, benchmarks=benchmarks)
 
     rows = []
     for bench in benchmarks:

@@ -15,6 +15,7 @@ Usage::
 import sys
 
 from repro.config import Design, SimConfig
+from repro.experiments.common import example_scale, get_scale
 from repro.noc.network import Network
 from repro.stats.visualize import StateTimeline, power_state_map, ring_map
 from repro.traffic.parsec import BENCHMARKS, make_traffic
@@ -31,7 +32,9 @@ def timeline(design: str, benchmark: str, cycles: int) -> StateTimeline:
 
 def main() -> None:
     benchmark = sys.argv[1] if len(sys.argv) > 1 else "blackscholes"
-    cycles = int(sys.argv[2]) if len(sys.argv) > 2 else 2400
+    default_cycles = {"smoke": 400, "bench": 2_400,
+                      "full": 24_000}[example_scale()]
+    cycles = int(sys.argv[2]) if len(sys.argv) > 2 else default_cycles
     if benchmark not in BENCHMARKS:
         raise SystemExit(f"unknown benchmark; choose from {list(BENCHMARKS)}")
     stride = max(1, cycles // 110)

@@ -14,6 +14,7 @@ Usage::
 import sys
 
 from repro.config import Design, NoCConfig, SimConfig
+from repro.experiments.common import example_scale, get_scale
 from repro.noc.network import Network
 from repro.power.model import PowerModel
 from repro.stats.report import format_table, percent
@@ -22,12 +23,13 @@ from repro.traffic.synthetic import uniform_random
 
 def simulate(design: str, rate: float, seed: int = 1):
     """One design point: build the network, run, evaluate energy."""
+    scale = get_scale(example_scale())
     cfg = SimConfig(
         design=design,
         noc=NoCConfig(width=4, height=4),
-        warmup_cycles=1_000,
-        measure_cycles=8_000,
-        drain_cycles=10_000,
+        warmup_cycles=scale.warmup,
+        measure_cycles=2 * scale.measure,
+        drain_cycles=scale.drain,
         seed=seed,
     )
     net = Network(cfg)

@@ -18,6 +18,7 @@ import sys
 
 from repro.config import Design, NoCConfig, SimConfig
 from repro.core.placement import (PAPER_PERF_CENTRIC_4X4, PlacementAnalysis)
+from repro.experiments.common import example_scale, get_scale
 from repro.core.ring import build_ring
 from repro.core.thresholds import ThresholdPolicy
 from repro.noc.network import Network
@@ -38,8 +39,11 @@ def draw_ring(mesh, ring):
 
 
 def simulate_with_set(mesh_cfg, perf_set, rate=0.1):
-    cfg = SimConfig(design=Design.NORD, noc=mesh_cfg, warmup_cycles=500,
-                    measure_cycles=4000, drain_cycles=8000)
+    scale = get_scale(example_scale())
+    cfg = SimConfig(design=Design.NORD, noc=mesh_cfg,
+                    warmup_cycles=scale.warmup,
+                    measure_cycles=scale.measure,
+                    drain_cycles=scale.drain)
     mesh = Mesh(mesh_cfg.width, mesh_cfg.height)
     ring = build_ring(mesh)
     policy = ThresholdPolicy(mesh, ring, cfg.pg, perf_centric=perf_set)

@@ -21,6 +21,7 @@ from repro.config import Design, PowerGateConfig, SimConfig
 from repro.core.thresholds import ThresholdPolicy
 from repro.core.ring import build_ring
 from repro.experiments import fig7_threshold
+from repro.experiments.common import example_scale, get_scale
 from repro.noc.network import Network
 from repro.noc.topology import Mesh
 from repro.power.model import PowerModel
@@ -29,8 +30,10 @@ from repro.traffic.synthetic import uniform_random
 
 
 def ablate(name, perf_threshold, power_threshold, symmetric=False):
-    cfg = SimConfig(design=Design.NORD, warmup_cycles=500,
-                    measure_cycles=4000, drain_cycles=8000)
+    scale = get_scale(example_scale())
+    cfg = SimConfig(design=Design.NORD, warmup_cycles=scale.warmup,
+                    measure_cycles=scale.measure,
+                    drain_cycles=scale.drain)
     cfg = cfg.replace(pg=dataclasses.replace(
         cfg.pg, perf_threshold=perf_threshold,
         power_threshold=power_threshold))
@@ -49,7 +52,7 @@ def ablate(name, perf_threshold, power_threshold, symmetric=False):
 
 def main() -> None:
     print("Part 1 - Figure 7 calibration (all routers forced asleep):\n")
-    res = fig7_threshold.run("bench")
+    res = fig7_threshold.run(example_scale())
     print(fig7_threshold.report(res))
 
     print("\nPart 2 - threshold ablation on live NoRD @ 0.08 load:\n")

@@ -22,6 +22,7 @@ import argparse
 import sys
 from typing import List, Optional
 
+from . import trace as trace_mod
 from .config import Design, NoCConfig, SimConfig
 from .experiments import parallel
 from .noc import activity
@@ -68,6 +69,21 @@ def _add_common(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--profile", action="store_true",
                         help="report per-phase cycle-kernel timing and "
                              "active-set occupancy after the run")
+    trace = parser.add_argument_group("event tracing")
+    trace.add_argument("--trace", action="store_true",
+                       help="record flit-level events for every executed "
+                            "run and export JSONL + digest artifacts")
+    trace.add_argument("--trace-dir", default="traces", metavar="DIR",
+                       help="directory for trace artifacts "
+                            "(default: ./traces)")
+    trace.add_argument("--trace-limit", type=_positive_int,
+                       default=trace_mod.DEFAULT_LIMIT, metavar="N",
+                       help="ring-buffer capacity in events; oldest "
+                            "events are evicted beyond it (default: "
+                            f"{trace_mod.DEFAULT_LIMIT})")
+    trace.add_argument("--trace-chrome", action="store_true",
+                       help="also export Chrome-trace JSON (loadable at "
+                            "https://ui.perfetto.dev)")
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -90,7 +106,7 @@ def build_parser() -> argparse.ArgumentParser:
     _add_common(p_sim)
     p_sim.add_argument("--design", choices=Design.ALL, default=Design.NORD)
     p_sim.add_argument("--traffic", default="uniform",
-                       choices=("uniform", "bitcomp") + BENCHMARKS)
+                       choices=("uniform", "bitcomp", "tornado") + BENCHMARKS)
     p_sim.add_argument("--rate", type=float, default=0.1,
                        help="flits/node/cycle (synthetic traffic only)")
     p_sim.add_argument("--width", type=int, default=4)
@@ -112,6 +128,27 @@ def build_parser() -> argparse.ArgumentParser:
                        help="enable NI retransmission on timeout for "
                             "lost/corrupted packets")
     return parser
+
+
+def _trace_spec(args: argparse.Namespace):
+    """The TraceSpec the ``--trace*`` flags describe (None when off)."""
+    if not getattr(args, "trace", False):
+        return None
+    return trace_mod.TraceSpec(directory=args.trace_dir,
+                               limit=args.trace_limit,
+                               chrome=args.trace_chrome)
+
+
+def _trace_summary(spec) -> None:
+    """Print where trace artifacts went, ``[trace``-prefixed so the
+    byte-identity CI diff can filter these (and only these) lines."""
+    if spec is None:
+        return
+    from pathlib import Path
+    directory = Path(spec.directory)
+    digests = sorted(directory.glob("*.digest.json"))
+    print(f"[trace] {len(digests)} run(s) traced; artifacts in "
+          f"{directory}/")
 
 
 def _fault_plan(args: argparse.Namespace):
@@ -144,15 +181,19 @@ def _simulate(args: argparse.Namespace) -> None:
         spec = parallel.uniform_spec(args.rate, seed=args.seed)
     elif args.traffic == "bitcomp":
         spec = parallel.bitcomp_spec(args.rate, seed=args.seed)
+    elif args.traffic == "tornado":
+        spec = parallel.tornado_spec(args.rate, seed=args.seed)
     else:
         spec = parallel.parsec_spec(args.traffic, seed=args.seed)
+    trace_spec = _trace_spec(args)
     runner = parallel.configure(jobs=args.jobs,
                                 use_cache=not args.no_cache,
                                 timeout=args.timeout, retries=args.retries,
                                 partial=args.partial)
     faults = _fault_plan(args)
     result, energy = runner.run_one(
-        parallel.DesignPoint(cfg=cfg, traffic=spec, faults=faults))
+        parallel.DesignPoint(cfg=cfg, traffic=spec, faults=faults,
+                             trace=trace_spec))
     rows = [
         ("design", args.design),
         ("traffic", args.traffic),
@@ -179,6 +220,7 @@ def _simulate(args: argparse.Namespace) -> None:
              f"{result.flits_corrupted}/{result.flits_dropped}"),
         ]
     print(format_table(("metric", "value"), rows, title="simulation"))
+    _trace_summary(trace_spec)
 
 
 def main(argv: Optional[List[str]] = None) -> int:
@@ -189,10 +231,14 @@ def main(argv: Optional[List[str]] = None) -> int:
         return 0
     if getattr(args, "profile", False):
         activity.enable_profiling()
+    trace_spec = _trace_spec(args)
+    if trace_spec is not None:
+        parallel.configure(trace=trace_spec)
     if args.command == "run-all":
         run_all(args.scale, args.seed, jobs=args.jobs,
                 use_cache=not args.no_cache, timeout=args.timeout,
                 retries=args.retries, partial=args.partial)
+        _trace_summary(trace_spec)
         return 0
     if args.command == "simulate":
         _simulate(args)
@@ -205,6 +251,7 @@ def main(argv: Optional[List[str]] = None) -> int:
     print(run_experiment(args.command, args.scale, args.seed))
     if activity.profiling_enabled():
         print(activity.global_profile().summary())
+    _trace_summary(trace_spec)
     return 0
 
 

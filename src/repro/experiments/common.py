@@ -14,6 +14,7 @@ mesh) so the Figure 8-12 experiments share one sweep.
 
 from __future__ import annotations
 
+import os
 from dataclasses import dataclass
 from typing import Callable, Dict, Iterable, Optional, Tuple
 
@@ -48,6 +49,18 @@ def get_scale(scale: str) -> Scale:
     except KeyError:
         raise ValueError(f"unknown scale {scale!r}; known: {list(SCALES)}"
                          ) from None
+
+
+def example_scale(default: str = "bench") -> str:
+    """Scale preset for the ``examples/`` scripts.
+
+    The ``REPRO_EXAMPLE_SCALE`` environment variable overrides the
+    default (e.g. ``smoke`` in CI) so every example can be exercised at
+    a tiny scale without changing its command-line contract.
+    """
+    name = os.environ.get("REPRO_EXAMPLE_SCALE", default)
+    get_scale(name)  # validate the name before an example runs with it
+    return name
 
 
 def build_config(design: str, scale: str = "bench", *, width: int = 4,

@@ -37,7 +37,7 @@ import tempfile
 import time
 from concurrent.futures import ProcessPoolExecutor
 from concurrent.futures import TimeoutError as FutureTimeout
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 from pathlib import Path
 from typing import (Any, Callable, Dict, List, Optional, Sequence, Tuple)
 
@@ -48,9 +48,10 @@ from ..faults import FaultPlan
 from ..noc.network import Network
 from ..power.model import EnergyReport, PowerModel
 from ..stats.collector import RunResult
+from ..trace.recorder import TraceSpec, export_trace
 from ..traffic.base import NullTraffic, TrafficGenerator
 from ..traffic.parsec import make_traffic
-from ..traffic.synthetic import bit_complement, uniform_random
+from ..traffic.synthetic import bit_complement, tornado, uniform_random
 
 #: Bump when the cache file layout changes; invalidates old entries.
 #: 2: design points gained a ``faults`` field (fault-injection plans).
@@ -71,8 +72,9 @@ SweepOutcome = Tuple[RunResult, EnergyReport]
 class TrafficSpec:
     """Picklable description of a traffic generator.
 
-    ``kind`` is one of ``uniform``, ``bitcomp``, ``parsec`` or ``null``;
-    ``rate`` applies to the synthetic kinds, ``benchmark`` to ``parsec``.
+    ``kind`` is one of ``uniform``, ``bitcomp``, ``tornado``, ``parsec``
+    or ``null``; ``rate`` applies to the synthetic kinds, ``benchmark``
+    to ``parsec``.
     """
 
     kind: str
@@ -85,6 +87,8 @@ class TrafficSpec:
             return uniform_random(mesh, self.rate, seed=self.seed)
         if self.kind == "bitcomp":
             return bit_complement(mesh, self.rate, seed=self.seed)
+        if self.kind == "tornado":
+            return tornado(mesh, self.rate, seed=self.seed)
         if self.kind == "parsec":
             return make_traffic(mesh, self.benchmark, seed=self.seed)
         if self.kind == "null":
@@ -102,6 +106,10 @@ def uniform_spec(rate: float, seed: int = 1) -> TrafficSpec:
 
 def bitcomp_spec(rate: float, seed: int = 1) -> TrafficSpec:
     return TrafficSpec(kind="bitcomp", rate=rate, seed=seed)
+
+
+def tornado_spec(rate: float, seed: int = 1) -> TrafficSpec:
+    return TrafficSpec(kind="tornado", rate=rate, seed=seed)
 
 
 def parsec_spec(benchmark: str, seed: int = 1) -> TrafficSpec:
@@ -145,6 +153,12 @@ class DesignPoint:
     network: str = STANDARD_NETWORK
     #: Optional fault-injection plan (see :mod:`repro.faults`).
     faults: Optional[FaultPlan] = None
+    #: Optional event-trace request (see :mod:`repro.trace`).  A pure
+    #: observer: it never enters :meth:`cache_key`, and a traced run's
+    #: ``RunResult`` is identical to an untraced one.  Traced points
+    #: skip the cache *read* (a hit would produce no artifacts) but
+    #: still write their result back.
+    trace: Optional[TraceSpec] = None
 
     def __post_init__(self) -> None:
         if self.prepare is not None and self.prepare not in PREPARE_HOOKS:
@@ -161,7 +175,8 @@ class DesignPoint:
 
         An *empty* fault plan keys identically to no plan at all: the
         two are proven behaviourally identical, so they share a cache
-        entry.
+        entry.  ``trace`` is deliberately absent: tracing does not
+        change the result, so traced and untraced runs share an entry.
         """
         faults = None
         if self.faults is not None and not self.faults.is_empty:
@@ -177,19 +192,46 @@ class DesignPoint:
         })
 
 
+def trace_basename(point: DesignPoint) -> str:
+    """Deterministic artifact basename for a traced design point.
+
+    Stable across processes and ``--jobs`` settings (it hashes the
+    point's content, never scheduling state), so parallel and serial
+    runs of the same sweep produce identically-named trace files.
+    """
+    if point.trace is not None and point.trace.basename:
+        return point.trace.basename
+    t = point.traffic
+    parts = [str(point.cfg.design), t.kind]
+    if t.rate:
+        parts.append(f"{t.rate:g}")
+    if t.benchmark:
+        parts.append(t.benchmark)
+    parts.append(f"s{t.seed}")
+    parts.append(point.cache_key()[:12])
+    return "_".join(parts)
+
+
 def execute_point(point: DesignPoint) -> SweepOutcome:
     """Run one design point end to end (spawn-safe worker function)."""
     cfg = point.cfg
+    trace = None
     if point.network == BUFFERLESS_NETWORK:
+        # The bufferless datapath is not instrumented; a runner-wide
+        # trace request simply does not apply to it.
         from ..noc.bufferless import BufferlessNetwork
         net = BufferlessNetwork(cfg)
     else:
-        net = Network(cfg, fault_plan=point.faults)
+        if point.trace is not None:
+            trace = point.trace.build()
+        net = Network(cfg, fault_plan=point.faults, trace=trace)
     if point.prepare is not None:
         PREPARE_HOOKS[point.prepare](net)
     traffic = point.traffic.build(net.mesh)
     result = net.run(traffic)
     report = PowerModel(cfg).evaluate(result)
+    if trace is not None:
+        export_trace(trace, point.trace, trace_basename(point))
     return result, report
 
 
@@ -448,7 +490,8 @@ class SweepRunner:
                  cache: Optional[ResultCache] = None,
                  timeout: Optional[float] = None, retries: int = 0,
                  retry_backoff: float = 1.0,
-                 partial: bool = False) -> None:
+                 partial: bool = False,
+                 trace: Optional[TraceSpec] = None) -> None:
         if jobs < 1:
             raise ValueError("jobs must be >= 1")
         if timeout is not None and timeout <= 0:
@@ -462,6 +505,9 @@ class SweepRunner:
         self.retries = retries
         self.retry_backoff = retry_backoff
         self.partial = partial
+        #: When set, every submitted point without its own trace spec
+        #: inherits this one (how ``--trace`` reaches the experiments).
+        self.trace = trace
         self.stats = SweepStats()
         #: ``FailedRun`` records accumulated in partial mode.
         self.failures: List[FailedRun] = []
@@ -469,17 +515,24 @@ class SweepRunner:
     def run(self,
             points: Sequence[DesignPoint]) -> List[Optional[SweepOutcome]]:
         points = list(points)
+        if self.trace is not None:
+            points = [p if p.trace is not None
+                      else replace(p, trace=self.trace) for p in points]
         outcomes: List[Optional[SweepOutcome]] = [None] * len(points)
         miss_indices: List[int] = []
         keys: List[Optional[str]] = [None] * len(points)
         for i, point in enumerate(points):
             if self.use_cache:
                 keys[i] = point.cache_key()
-                cached = self.cache.get(keys[i])
-                if cached is not None:
-                    outcomes[i] = cached
-                    self.stats.hits += 1
-                    continue
+                # A traced point must actually execute (a cache hit
+                # would produce no trace artifacts), but its result is
+                # still written back under the trace-free key.
+                if point.trace is None:
+                    cached = self.cache.get(keys[i])
+                    if cached is not None:
+                        outcomes[i] = cached
+                        self.stats.hits += 1
+                        continue
                 self.stats.misses += 1
             else:
                 self.stats.misses += 1
@@ -597,7 +650,8 @@ def configure(jobs: Optional[int] = None,
               use_cache: Optional[bool] = None,
               timeout: Optional[float] = None,
               retries: Optional[int] = None,
-              partial: Optional[bool] = None) -> SweepRunner:
+              partial: Optional[bool] = None,
+              trace: Optional[TraceSpec] = None) -> SweepRunner:
     """Adjust the default runner (e.g. from ``--jobs`` / ``--no-cache``)."""
     runner = get_runner()
     if jobs is not None:
@@ -616,6 +670,8 @@ def configure(jobs: Optional[int] = None,
         runner.retries = retries
     if partial is not None:
         runner.partial = partial
+    if trace is not None:
+        runner.trace = trace
     return runner
 
 

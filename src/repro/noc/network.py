@@ -60,6 +60,8 @@ from ..powergate.nord import NoRDController
 from ..routing.adaptive import AdaptiveXYEscape
 from ..routing.ring_escape import NoRDRouting
 from ..stats.collector import RouterActivity, RunResult, StatsCollector
+from ..trace.events import EventKind
+from ..trace.recorder import EventTrace
 from . import activity
 from .activity import ActiveSet
 from .flit import Flit, Packet
@@ -102,8 +104,15 @@ class Network:
 
     def __init__(self, cfg: SimConfig, threshold_policy=None, *,
                  skip_inactive: Optional[bool] = None,
-                 fault_plan: Optional[FaultPlan] = None) -> None:
+                 fault_plan: Optional[FaultPlan] = None,
+                 trace: Optional[EventTrace] = None) -> None:
         self.cfg = cfg
+        #: Event recorder (:mod:`repro.trace`), or None.  Tracing is a
+        #: pure observer: every hook below is a single attribute check
+        #: when disabled, and recording never mutates simulation state,
+        #: so traced and untraced runs are byte-identical (asserted by
+        #: tests/test_trace_identity.py and the trace-off CI diff).
+        self.trace = trace
         self.mesh = Mesh(cfg.noc.width, cfg.noc.height)
         self.now = 0
         self.ring: Optional[BypassRing] = None
@@ -305,6 +314,10 @@ class Network:
 
     def sink_flit(self, node: int, flit: Flit, now: int, *,
                   via_bypass: bool) -> None:
+        if self.trace is not None:
+            self.trace.record(now, EventKind.SINK, node,
+                              pid=flit.packet.pid, flit=flit.index,
+                              info=1 if via_bypass else 0)
         self._last_progress = now
         self._livelock_ref = now
         self._outstanding -= 1
@@ -445,6 +458,9 @@ class Network:
     def inject_packet(self, src: int, dst: int, length: int,
                       klass: int = 0) -> Packet:
         pkt = Packet(src, dst, length, self.now, klass)
+        if self.trace is not None:
+            self.trace.record(self.now, EventKind.NEW, src, port=dst,
+                              pid=pkt.pid, info=length)
         if self._faults is not None and not self._faults.admit_packet(self,
                                                                       pkt):
             # Unreachable endpoint under a conventional design: record the
@@ -477,6 +493,9 @@ class Network:
         pkt.created_cycle = orig.created_cycle
         pkt.seq = orig.seq
         pkt.retry = orig.retry + 1
+        if self.trace is not None:
+            self.trace.record(self.now, EventKind.NEW, pkt.src,
+                              port=pkt.dst, pid=pkt.pid, info=pkt.length)
         self.stats.on_packet_retransmitted(pkt)
         if (not self.nord_bypass_available and faults.failed_nodes
                 and (pkt.src in faults.failed_nodes
@@ -813,9 +832,32 @@ class Network:
             return ctrl.window_requests == 0
         return node not in self._wu_now and not self.nis[node].inject_pending
 
+    #: Power-gate FSM transition -> trace event kind.
+    _PG_TRACE_KINDS = {
+        Transition.GATED_OFF: EventKind.PG_OFF,
+        Transition.WAKE_STARTED: EventKind.PG_WAKE,
+        Transition.WOKE: EventKind.PG_ON,
+        Transition.FAILED: EventKind.PG_FAIL,
+    }
+
+    def _trace_pg_event(self, node: int, event: str) -> None:
+        kind = self._PG_TRACE_KINDS[event]
+        vc = -1
+        info = 0
+        if event == Transition.WAKE_STARTED:
+            ctrl = self.controllers[node]
+            if isinstance(ctrl, NoRDController):
+                # The threshold trigger behind this wakeup: the
+                # VC-request window count vs. the node's threshold.
+                vc = ctrl.threshold
+                info = ctrl.window_requests
+        self.trace.record(self.now, kind, node, vc=vc, info=info)
+
     def _apply_pg_events(self, events: List[Tuple[int, str]],
                          design: str) -> None:
         for node, event in events:
+            if self.trace is not None:
+                self._trace_pg_event(node, event)
             if event == Transition.GATED_OFF:
                 if design == Design.NORD:
                     self._on_nord_gate_off(node)

@@ -26,6 +26,7 @@ from collections import deque
 from typing import TYPE_CHECKING, Deque, Dict, List, Optional, Set
 
 from ..config import Design, SimConfig
+from ..trace.events import EventKind
 from .arbiter import RoundRobinArbiter
 from .buffer import OutputPort
 from .flit import Flit, Packet
@@ -97,6 +98,10 @@ class NetworkInterface:
                 f"node {self.node}: bypass latch {vc_id} overflow")
         self.latch[vc_id].append(flit)
         self.n_latch_writes += 1
+        trace = self.network.trace
+        if trace is not None:
+            trace.record(self.network.now, EventKind.LATCH, self.node,
+                         vc=vc_id, pid=flit.packet.pid, flit=flit.index)
         self.network.note_ni_latched(self.node)
 
     @property
@@ -277,6 +282,11 @@ class NetworkInterface:
             if vc_id in self.lingering:
                 self.network.finish_lingering(self.node, vc_id)
         self.n_bypass_forwards += 1
+        trace = self.network.trace
+        if trace is not None:
+            trace.record(now, EventKind.FWD, self.node, port=ring_port,
+                         vc=out_vc, pid=pkt.pid, flit=flit.index,
+                         info=1 if fast else 0)
         if self.network.router_on(self.node):
             self.network.mark_ni_port_used(self.node, ring_port)
         self.network.send_flit(self.node, ring_port, flit, out_vc, now,
@@ -369,6 +379,13 @@ class NetworkInterface:
             if self.network.router_on(self.node):
                 self.network.mark_ni_port_used(self.node, ring_port)
             self.network.send_flit(self.node, ring_port, flit, out_vc, now)
+        trace = self.network.trace
+        if trace is not None:
+            trace.record(now, EventKind.INJ, self.node,
+                         port=-1 if path == "router" else
+                         self.network.ring.outport[self.node],
+                         vc=out_vc, pid=pkt.pid, flit=flit.index,
+                         info=0 if path == "router" else 1)
         self.inj_sent += 1
         self.n_injected_flits += 1
         if flit.is_tail:

@@ -20,6 +20,7 @@ from bisect import insort
 from typing import TYPE_CHECKING, Dict, List, Optional, Tuple
 
 from ..config import SimConfig
+from ..trace.events import EventKind
 from .arbiter import AllocatorPool, RoundRobinArbiter
 from .buffer import InputPort, OutputPort, VCState, VirtualChannel
 from .flit import Flit
@@ -122,6 +123,11 @@ class Router:
         vc = self.in_ports[in_port].vcs[vc_id]
         vc.push(flit)
         self.n_buffer_writes += 1
+        trace = self.network.trace
+        if trace is not None:
+            trace.record(self.network.now, EventKind.BW, self.node,
+                         port=in_port, vc=vc_id, pid=flit.packet.pid,
+                         flit=flit.index)
         self.network.note_router_filled(self.node)
         if vc.state == VCState.IDLE:
             if not flit.is_head:
@@ -177,6 +183,11 @@ class Router:
                     vc.stalled_for_wakeup = True
                     pkt = vc.fifo[0].packet
                     pkt.wakeup_stall_cycles += 1
+                    trace = self.network.trace
+                    if trace is not None:
+                        trace.record(now, EventKind.WU_STALL, self.node,
+                                     port=route, vc=vc.vc_id, pid=pkt.pid,
+                                     flit=0)
                     self.network.wake_request(self.node, route)
                     continue
                 if route in self.ports_used_by_ni:
@@ -253,6 +264,10 @@ class Router:
         self.n_xbar_traversals += 1
         out_port = vc.route_port
         out_vc = vc.out_vc
+        trace = self.network.trace
+        if trace is not None:
+            trace.record(now, EventKind.SA, self.node, port=out_port,
+                         vc=out_vc, pid=flit.packet.pid, flit=flit.index)
         if out_port != LOCAL:
             self.out_ports[out_port].credit[out_vc].consume()
         vc.flits_sent += 1
@@ -354,6 +369,11 @@ class Router:
         vc.flits_sent = 0
         self.out_ports[port].vc_owner[out_vc] = pkt.pid
         self.n_va_grants += 1
+        trace = self.network.trace
+        if trace is not None:
+            trace.record(self.network.now, EventKind.VA, self.node,
+                         port=port, vc=out_vc, pid=pkt.pid, flit=0,
+                         info=1 if is_escape else 0)
         if port != LOCAL:
             routing = self.network.routing
             if is_escape and not pkt.on_escape:
@@ -383,6 +403,10 @@ class Router:
                 vc.force_escape = choice.force_escape
                 vc.state = VCState.WAITING_VA
                 vc.va_wait = 0
+                trace = self.network.trace
+                if trace is not None:
+                    trace.record(now, EventKind.RC, self.node, port=p,
+                                 vc=v, pid=pkt.pid, flit=0)
                 if self.network.early_wakeup:
                     self._early_wakeup(vc, pkt)
 

@@ -5,8 +5,9 @@ from .base import (LONG_PACKET_FLITS, SHORT_PACKET_FLITS, NullTraffic,
 from .parsec import (BENCHMARKS, MEMORY_LATENCY, PROFILES, BenchmarkProfile,
                      ParsecTraffic, make_traffic)
 from .synthetic import (SyntheticTraffic, bit_complement,
-                        bit_complement_pattern, hotspot_pattern,
-                        transpose_pattern, uniform_pattern, uniform_random)
+                        bit_complement_pattern, hotspot_pattern, tornado,
+                        tornado_pattern, transpose_pattern, uniform_pattern,
+                        uniform_random)
 from .trace import TraceRecorder, TraceReplay, load_trace, save_trace
 
 __all__ = [
@@ -14,7 +15,7 @@ __all__ = [
     "SHORT_PACKET_FLITS", "LONG_PACKET_FLITS",
     "SyntheticTraffic", "uniform_random", "bit_complement",
     "uniform_pattern", "bit_complement_pattern", "transpose_pattern",
-    "hotspot_pattern",
+    "hotspot_pattern", "tornado", "tornado_pattern",
     "ParsecTraffic", "BenchmarkProfile", "PROFILES", "BENCHMARKS",
     "MEMORY_LATENCY", "make_traffic",
     "TraceRecorder", "TraceReplay", "save_trace", "load_trace",

@@ -69,6 +69,21 @@ def transpose_pattern(mesh: Mesh) -> Callable[[int], int]:
     return pick
 
 
+def tornado_pattern(mesh: Mesh) -> Callable[[int], int]:
+    """Tornado: node (x, y) sends halfway around each dimension,
+    ``((x + ceil(W/2) - 1) mod W, (y + ceil(H/2) - 1) mod H)``
+    [Dally & Towles].  Adversarial for dimension-ordered routing: every
+    flow crosses the bisection in the same rotational direction."""
+    dx = (mesh.width + 1) // 2 - 1
+    dy = (mesh.height + 1) // 2 - 1
+
+    def pick(src: int) -> int:
+        x, y = mesh.xy(src)
+        return mesh.node((x + dx) % mesh.width, (y + dy) % mesh.height)
+
+    return pick
+
+
 def hotspot_pattern(num_nodes: int, hotspots: List[int], fraction: float,
                     rng) -> Callable[[int], int]:
     """With probability ``fraction`` send to a random hotspot node,
@@ -96,3 +111,8 @@ def bit_complement(mesh: Mesh, rate: float, seed: int = 1) -> SyntheticTraffic:
     """Bit-complement traffic at ``rate`` flits/node/cycle."""
     return SyntheticTraffic(mesh.num_nodes, rate,
                             bit_complement_pattern(mesh), seed)
+
+
+def tornado(mesh: Mesh, rate: float, seed: int = 1) -> SyntheticTraffic:
+    """Tornado traffic at ``rate`` flits/node/cycle."""
+    return SyntheticTraffic(mesh.num_nodes, rate, tornado_pattern(mesh), seed)

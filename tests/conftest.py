@@ -19,6 +19,13 @@ if _SRC not in sys.path:
     sys.path.insert(0, _SRC)
 
 
+def pytest_addoption(parser):
+    parser.addoption(
+        "--update-goldens", action="store_true", default=False,
+        help="regenerate the tests/goldens/ trace-digest fixtures "
+             "instead of diffing against them")
+
+
 @pytest.fixture(autouse=True, scope="session")
 def _isolated_result_cache(tmp_path_factory):
     old = os.environ.get("REPRO_CACHE_DIR")

@@ -1,0 +1,53 @@
+"""Golden-trace digest regression.
+
+Recomputes the eight pinned scenario digests (every design x
+uniform/tornado on the 4x4 mesh) and diffs them against the committed
+fixtures under ``tests/goldens/``.  Any behavioural drift in the router
+pipeline, the NI bypass datapath or the power-gate FSM changes at least
+one event stream and therefore at least one digest.
+
+Intentional behaviour changes: regenerate with either
+
+    pytest tests/test_goldens.py --update-goldens
+    python -m repro.trace.golden --update
+
+and commit the reviewed fixture diff.
+"""
+
+import json
+
+import pytest
+
+from repro.trace import golden
+
+
+def test_scenarios_cover_all_designs_and_both_traffics():
+    names = [name for name, _, _ in golden.scenarios()]
+    assert len(names) == 8
+    assert len(set(names)) == 8
+    assert {kind for _, _, kind in golden.scenarios()} == \
+        {"uniform", "tornado"}
+    from repro.config import Design
+    assert {design for _, design, _ in golden.scenarios()} == set(Design.ALL)
+
+
+def test_fixtures_exist_and_are_well_formed():
+    for name, _, _ in golden.scenarios():
+        path = golden.fixture_path(name)
+        assert path.is_file(), f"missing fixture {path}; run --update-goldens"
+        digest = json.loads(path.read_text())
+        assert digest["events"] > 0
+        assert digest["dropped"] == 0, "golden runs must retain all events"
+        assert len(digest["sha256"]) == 64
+        # Every golden scenario delivers traffic end to end.
+        assert digest["counts"]["NEW"] > 0
+        assert digest["counts"]["SINK"] > 0
+
+
+def test_golden_digests_match_fixtures(request):
+    if request.config.getoption("--update-goldens"):
+        names = golden.update()
+        assert len(names) == 8
+        pytest.skip("fixtures regenerated; re-run without --update-goldens")
+    problems = golden.check()
+    assert not problems, "golden-trace drift:\n" + "\n".join(problems)
