@@ -1,33 +1,79 @@
 #!/usr/bin/env python
 """Power-state timeline: watch routers sleep and wake under real traffic.
 
-Runs a NoRD network on a bursty PARSEC-like workload, samples every
-router's power state each cycle, and renders one ASCII strip per router —
-the paper's Figure 2(b) sleep/wake intervals, per router, over live
-traffic.  A Conv_PG strip is printed for contrast: note how much more
-often it flips state (every flip costs a breakeven time of energy).
+Runs a NoRD network on a bursty PARSEC-like workload with the
+``repro.metrics`` telemetry attached, renders one ASCII strip per
+router from the sampler's windows (the paper's Figure 2(b) sleep/wake
+intervals, per router, over live traffic), and folds the collected
+artifacts into a self-contained HTML report with SVG timelines and a
+per-router OFF-duty heatmap.  A Conv_PG strip is printed for contrast:
+note how much more often it flips state (every flip costs a breakeven
+time of energy).
 
 Usage::
 
     python examples/power_timeline.py [benchmark] [cycles]
+
+The metrics artifacts and ``report.html`` land in ``REPRO_EXAMPLE_OUT``
+(default: ``./power_timeline_metrics``).
 """
 
+import os
 import sys
+from pathlib import Path
 
 from repro.config import Design, SimConfig
-from repro.experiments.common import example_scale, get_scale
+from repro.experiments.common import example_scale
+from repro.metrics import MetricsSpec, export_metrics
+from repro.metrics.report import write_report
 from repro.noc.network import Network
-from repro.stats.visualize import StateTimeline, power_state_map, ring_map
+from repro.stats.visualize import power_state_map, ring_map
 from repro.traffic.parsec import BENCHMARKS, make_traffic
 
+#: Dominant-state character per sampling window (majority of cycles).
+ON, OFF, WAKING = "#", ".", "~"
 
-def timeline(design: str, benchmark: str, cycles: int) -> StateTimeline:
-    cfg = SimConfig(design=design, warmup_cycles=0, measure_cycles=cycles)
-    net = Network(cfg)
+
+def run_design(design: str, benchmark: str, cycles: int, interval: int,
+               outdir: Path):
+    """Run one design with telemetry attached; returns (MetricsRun, net)."""
+    cfg = SimConfig(design=design, warmup_cycles=0,
+                    measure_cycles=cycles, drain_cycles=0)
+    spec = MetricsSpec(directory=str(outdir), interval=interval,
+                       basename=f"{design}_{benchmark}")
+    metrics = spec.build()
+    net = Network(cfg, metrics=metrics)
     traffic = make_traffic(net.mesh, benchmark, seed=7)
-    tl = StateTimeline(net)
-    tl.run(cycles, traffic)
-    return tl
+    net.run(traffic)
+    export_metrics(metrics, spec, f"{design}_{benchmark}", net,
+                   traffic={"kind": "parsec", "benchmark": benchmark,
+                            "seed": 7})
+    return metrics, net
+
+
+def render_strips(metrics) -> str:
+    """One line per router, one char per sampling window: the window's
+    dominant power state as recorded by the :class:`TimelineSampler`."""
+    tl = metrics.timeline
+    if not tl.windows:
+        return "(no sampling windows recorded)"
+    num_nodes = len(tl.node_off[0])
+    lines = []
+    for node in range(num_nodes):
+        chars = []
+        for snap, window in enumerate(tl.windows):
+            off = tl.node_off[snap][node]
+            waking = tl.node_waking[snap][node]
+            if 2 * off >= window:
+                chars.append(OFF)
+            elif 2 * waking >= window:
+                chars.append(WAKING)
+            else:
+                chars.append(ON)
+        lines.append(f"r{node:<3d} |{''.join(chars)}|")
+    lines.append(f"      ({ON} on, {OFF} off, {WAKING} waking; "
+                 f"1 char = {tl.interval}-cycle window, dominant state)")
+    return "\n".join(lines)
 
 
 def main() -> None:
@@ -37,21 +83,27 @@ def main() -> None:
     cycles = int(sys.argv[2]) if len(sys.argv) > 2 else default_cycles
     if benchmark not in BENCHMARKS:
         raise SystemExit(f"unknown benchmark; choose from {list(BENCHMARKS)}")
-    stride = max(1, cycles // 110)
+    interval = max(1, cycles // 110)
+    outdir = Path(os.environ.get("REPRO_EXAMPLE_OUT",
+                                 "power_timeline_metrics"))
+    outdir.mkdir(parents=True, exist_ok=True)
 
     for design in (Design.CONV_PG, Design.NORD):
         print(f"\n=== {design} on {benchmark} ({cycles} cycles, "
-              f"1 char = {stride} cycles) ===")
-        tl = timeline(design, benchmark, cycles)
-        print(tl.render(stride=stride))
-        offs = tl.off_fractions()
+              f"1 char = {interval} cycles) ===")
+        metrics, net = run_design(design, benchmark, cycles, interval,
+                                  outdir)
+        print(render_strips(metrics))
+        offs = metrics.timeline.mean_node_off_fraction()
         print(f"mean off fraction: {sum(offs) / len(offs):.2f}")
-        transitions = sum(c.wakeups for c in tl.network.controllers)
-        print(f"total wakeups: {transitions}")
+        print(f"total wakeups: {sum(c.wakeups for c in net.controllers)}")
         if design == Design.NORD:
             print("\nfinal power-state map / bypass ring:")
-            print(power_state_map(tl.network))
-            print(ring_map(tl.network))
+            print(power_state_map(net))
+            print(ring_map(net))
+
+    report = write_report(outdir, title=f"power timeline: {benchmark}")
+    print(f"\nmetrics artifacts in {outdir}/; HTML report: {report}")
 
 
 if __name__ == "__main__":

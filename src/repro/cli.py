@@ -22,6 +22,7 @@ import argparse
 import sys
 from typing import List, Optional
 
+from . import metrics as metrics_mod
 from . import trace as trace_mod
 from .config import Design, NoCConfig, SimConfig
 from .experiments import parallel
@@ -84,6 +85,21 @@ def _add_common(parser: argparse.ArgumentParser) -> None:
     trace.add_argument("--trace-chrome", action="store_true",
                        help="also export Chrome-trace JSON (loadable at "
                             "https://ui.perfetto.dev)")
+    metrics = parser.add_argument_group("telemetry")
+    metrics.add_argument("--metrics", action="store_true",
+                         help="sample time-series telemetry for every "
+                              "executed run and export JSONL/CSV/"
+                              "Prometheus artifacts")
+    metrics.add_argument("--metrics-interval", type=_positive_int,
+                         default=metrics_mod.DEFAULT_INTERVAL, metavar="N",
+                         help="sampling window in cycles (default: "
+                              f"{metrics_mod.DEFAULT_INTERVAL})")
+    metrics.add_argument("--metrics-dir", default="metrics", metavar="DIR",
+                         help="directory for metrics artifacts "
+                              "(default: ./metrics)")
+    metrics.add_argument("--metrics-html", action="store_true",
+                         help="also build the single-file HTML report "
+                              "(implies --metrics)")
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -151,6 +167,44 @@ def _trace_summary(spec) -> None:
           f"{directory}/")
 
 
+def _metrics_spec(args: argparse.Namespace):
+    """The MetricsSpec the ``--metrics*`` flags describe (None when
+    off); ``--metrics-html`` implies ``--metrics``."""
+    if not (getattr(args, "metrics", False)
+            or getattr(args, "metrics_html", False)):
+        return None
+    return metrics_mod.MetricsSpec(directory=args.metrics_dir,
+                                   interval=args.metrics_interval)
+
+
+def _metrics_finish(spec, html: bool) -> None:
+    """Export the kernel profile, summarize artifacts and (optionally)
+    build the HTML report.  Every line is ``[metrics``-prefixed so the
+    byte-identity CI diff can filter these (and only these) lines."""
+    if spec is None:
+        return
+    from pathlib import Path
+    directory = Path(spec.directory)
+    if activity.profiling_enabled():
+        metrics_mod.export_profile(activity.global_profile(), directory)
+    runs = sorted(directory.glob("*.metrics.jsonl"))
+    print(f"[metrics] {len(runs)} run(s) sampled; artifacts in "
+          f"{directory}/")
+    if html:
+        from .metrics import report as report_mod
+        out = report_mod.write_report(directory)
+        print(f"[metrics] report: {out}")
+
+
+def _timing_line(result) -> str:
+    """Host-timing footer for one run (contains " took " so the CI
+    byte-identity diffs drop it alongside the other wall-clock lines)."""
+    if result.wall_clock_s <= 0:
+        return "[run took 0.0s; served from cache]"
+    return (f"[run took {result.wall_clock_s:.1f}s; "
+            f"{result.simulated_cycles_per_sec:,.0f} simulated cyc/s]")
+
+
 def _fault_plan(args: argparse.Namespace):
     """Build the FaultPlan the simulate flags describe (None if none)."""
     from .faults import FaultPlan, LinkFault, RouterFailure
@@ -186,6 +240,7 @@ def _simulate(args: argparse.Namespace) -> None:
     else:
         spec = parallel.parsec_spec(args.traffic, seed=args.seed)
     trace_spec = _trace_spec(args)
+    metrics_spec = _metrics_spec(args)
     runner = parallel.configure(jobs=args.jobs,
                                 use_cache=not args.no_cache,
                                 timeout=args.timeout, retries=args.retries,
@@ -193,7 +248,7 @@ def _simulate(args: argparse.Namespace) -> None:
     faults = _fault_plan(args)
     result, energy = runner.run_one(
         parallel.DesignPoint(cfg=cfg, traffic=spec, faults=faults,
-                             trace=trace_spec))
+                             trace=trace_spec, metrics=metrics_spec))
     rows = [
         ("design", args.design),
         ("traffic", args.traffic),
@@ -220,7 +275,9 @@ def _simulate(args: argparse.Namespace) -> None:
              f"{result.flits_corrupted}/{result.flits_dropped}"),
         ]
     print(format_table(("metric", "value"), rows, title="simulation"))
+    print(_timing_line(result))
     _trace_summary(trace_spec)
+    _metrics_finish(metrics_spec, args.metrics_html)
 
 
 def main(argv: Optional[List[str]] = None) -> int:
@@ -234,11 +291,18 @@ def main(argv: Optional[List[str]] = None) -> int:
     trace_spec = _trace_spec(args)
     if trace_spec is not None:
         parallel.configure(trace=trace_spec)
+    metrics_spec = None
+    if args.command != "simulate":
+        # simulate wires its spec through its own DesignPoint below.
+        metrics_spec = _metrics_spec(args)
+        if metrics_spec is not None:
+            parallel.configure(metrics=metrics_spec)
     if args.command == "run-all":
         run_all(args.scale, args.seed, jobs=args.jobs,
                 use_cache=not args.no_cache, timeout=args.timeout,
                 retries=args.retries, partial=args.partial)
         _trace_summary(trace_spec)
+        _metrics_finish(metrics_spec, args.metrics_html)
         return 0
     if args.command == "simulate":
         _simulate(args)
@@ -252,6 +316,7 @@ def main(argv: Optional[List[str]] = None) -> int:
     if activity.profiling_enabled():
         print(activity.global_profile().summary())
     _trace_summary(trace_spec)
+    _metrics_finish(metrics_spec, args.metrics_html)
     return 0
 
 

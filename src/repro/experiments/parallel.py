@@ -45,6 +45,7 @@ from ..config import SimConfig, stable_hash
 from ..errors import (DeadlockError, LivelockError, RunTimeout,
                       SimulationHang)
 from ..faults import FaultPlan
+from ..metrics.sampler import MetricsSpec, export_metrics
 from ..noc.network import Network
 from ..power.model import EnergyReport, PowerModel
 from ..stats.collector import RunResult
@@ -159,6 +160,10 @@ class DesignPoint:
     #: skip the cache *read* (a hit would produce no artifacts) but
     #: still write their result back.
     trace: Optional[TraceSpec] = None
+    #: Optional telemetry request (see :mod:`repro.metrics`).  Exactly
+    #: the ``trace`` policy: a pure observer, absent from
+    #: :meth:`cache_key`, skips the cache read but writes back.
+    metrics: Optional[MetricsSpec] = None
 
     def __post_init__(self) -> None:
         if self.prepare is not None and self.prepare not in PREPARE_HOOKS:
@@ -201,6 +206,19 @@ def trace_basename(point: DesignPoint) -> str:
     """
     if point.trace is not None and point.trace.basename:
         return point.trace.basename
+    return point_basename(point)
+
+
+def metrics_basename(point: DesignPoint) -> str:
+    """Deterministic artifact basename for an instrumented point
+    (same stability contract as :func:`trace_basename`)."""
+    if point.metrics is not None and point.metrics.basename:
+        return point.metrics.basename
+    return point_basename(point)
+
+
+def point_basename(point: DesignPoint) -> str:
+    """Content-derived basename shared by every artifact exporter."""
     t = point.traffic
     parts = [str(point.cfg.design), t.kind]
     if t.rate:
@@ -216,22 +234,34 @@ def execute_point(point: DesignPoint) -> SweepOutcome:
     """Run one design point end to end (spawn-safe worker function)."""
     cfg = point.cfg
     trace = None
+    metrics = None
     if point.network == BUFFERLESS_NETWORK:
-        # The bufferless datapath is not instrumented; a runner-wide
-        # trace request simply does not apply to it.
+        # The bufferless datapath is not instrumented; runner-wide
+        # trace/metrics requests simply do not apply to it.
         from ..noc.bufferless import BufferlessNetwork
         net = BufferlessNetwork(cfg)
     else:
         if point.trace is not None:
             trace = point.trace.build()
-        net = Network(cfg, fault_plan=point.faults, trace=trace)
+        if point.metrics is not None:
+            metrics = point.metrics.build()
+        net = Network(cfg, fault_plan=point.faults, trace=trace,
+                      metrics=metrics)
     if point.prepare is not None:
         PREPARE_HOOKS[point.prepare](net)
     traffic = point.traffic.build(net.mesh)
+    t0 = time.perf_counter()
     result = net.run(traffic)
+    elapsed = time.perf_counter() - t0
+    result.wall_clock_s = elapsed
+    if elapsed > 0:
+        result.simulated_cycles_per_sec = net.now / elapsed
     report = PowerModel(cfg).evaluate(result)
     if trace is not None:
         export_trace(trace, point.trace, trace_basename(point))
+    if metrics is not None:
+        export_metrics(metrics, point.metrics, metrics_basename(point),
+                       net, traffic=point.traffic.to_key())
     return result, report
 
 
@@ -457,9 +487,23 @@ class SweepStats:
     #: Points that exhausted every attempt (partial mode only accrues
     #: these; strict mode raises on the first one instead).
     failures: int = 0
+    #: Wall-clock seconds spent actually simulating (executed points
+    #: only; cache hits contribute nothing).
+    sim_seconds: float = 0.0
+    #: Simulated cycles behind :attr:`sim_seconds` (warmup + measure +
+    #: drain), so ``sim_cycles / sim_seconds`` is the sweep's aggregate
+    #: simulation rate.
+    sim_cycles: int = 0
 
     def snapshot(self) -> Tuple[int, int]:
         return (self.hits, self.misses)
+
+    @property
+    def sim_rate(self) -> float:
+        """Aggregate simulated-cycles/sec over everything executed."""
+        if self.sim_seconds <= 0:
+            return 0.0
+        return self.sim_cycles / self.sim_seconds
 
 
 class SweepRunner:
@@ -491,7 +535,8 @@ class SweepRunner:
                  timeout: Optional[float] = None, retries: int = 0,
                  retry_backoff: float = 1.0,
                  partial: bool = False,
-                 trace: Optional[TraceSpec] = None) -> None:
+                 trace: Optional[TraceSpec] = None,
+                 metrics: Optional[MetricsSpec] = None) -> None:
         if jobs < 1:
             raise ValueError("jobs must be >= 1")
         if timeout is not None and timeout <= 0:
@@ -508,6 +553,8 @@ class SweepRunner:
         #: When set, every submitted point without its own trace spec
         #: inherits this one (how ``--trace`` reaches the experiments).
         self.trace = trace
+        #: Same inheritance for telemetry (``--metrics``).
+        self.metrics = metrics
         self.stats = SweepStats()
         #: ``FailedRun`` records accumulated in partial mode.
         self.failures: List[FailedRun] = []
@@ -518,16 +565,20 @@ class SweepRunner:
         if self.trace is not None:
             points = [p if p.trace is not None
                       else replace(p, trace=self.trace) for p in points]
+        if self.metrics is not None:
+            points = [p if p.metrics is not None
+                      else replace(p, metrics=self.metrics)
+                      for p in points]
         outcomes: List[Optional[SweepOutcome]] = [None] * len(points)
         miss_indices: List[int] = []
         keys: List[Optional[str]] = [None] * len(points)
         for i, point in enumerate(points):
             if self.use_cache:
                 keys[i] = point.cache_key()
-                # A traced point must actually execute (a cache hit
-                # would produce no trace artifacts), but its result is
-                # still written back under the trace-free key.
-                if point.trace is None:
+                # A traced/instrumented point must actually execute (a
+                # cache hit would produce no artifacts), but its result
+                # is still written back under the observer-free key.
+                if point.trace is None and point.metrics is None:
                     cached = self.cache.get(keys[i])
                     if cached is not None:
                         outcomes[i] = cached
@@ -554,6 +605,12 @@ class SweepRunner:
             for i, tag in zip(pending, tagged):
                 if tag[0] == "ok":
                     outcomes[i] = tag[1]
+                    run_result = tag[1][0]
+                    if run_result.wall_clock_s > 0:
+                        self.stats.sim_seconds += run_result.wall_clock_s
+                        self.stats.sim_cycles += int(
+                            run_result.simulated_cycles_per_sec
+                            * run_result.wall_clock_s + 0.5)
                     last_failure.pop(i, None)
                     if self.use_cache and keys[i] is not None:
                         self.cache.put(keys[i], tag[1])
@@ -651,7 +708,8 @@ def configure(jobs: Optional[int] = None,
               timeout: Optional[float] = None,
               retries: Optional[int] = None,
               partial: Optional[bool] = None,
-              trace: Optional[TraceSpec] = None) -> SweepRunner:
+              trace: Optional[TraceSpec] = None,
+              metrics: Optional[MetricsSpec] = None) -> SweepRunner:
     """Adjust the default runner (e.g. from ``--jobs`` / ``--no-cache``)."""
     runner = get_runner()
     if jobs is not None:
@@ -672,6 +730,8 @@ def configure(jobs: Optional[int] = None,
         runner.partial = partial
     if trace is not None:
         runner.trace = trace
+    if metrics is not None:
+        runner.metrics = metrics
     return runner
 
 

@@ -78,6 +78,7 @@ def run_all(scale: str = "bench", seed: int = 1, *,
     for name, (module, description) in EXPERIMENTS.items():
         start = time.perf_counter()
         hits0, misses0 = runner.stats.snapshot()
+        cyc0, secs0 = runner.stats.sim_cycles, runner.stats.sim_seconds
         echo(f"\n### {name}: {description}")
         try:
             echo(run_experiment(name, scale, seed))
@@ -93,14 +94,23 @@ def run_all(scale: str = "bench", seed: int = 1, *,
             continue
         hits, misses = runner.stats.snapshot()
         elapsed = time.perf_counter() - start
+        secs = runner.stats.sim_seconds - secs0
+        sim = "" if secs <= 0 else (
+            f"; {(runner.stats.sim_cycles - cyc0) / secs:,.0f} sim cyc/s")
         echo(f"[{name} took {elapsed:.1f}s; cache: {hits - hits0} hits, "
-             f"{misses - misses0} misses]")
+             f"{misses - misses0} misses{sim}]")
     hits, misses = runner.stats.snapshot()
     quarantined = runner.cache.quarantined
+    # Aggregate simulation rate over everything actually executed (a
+    # fully-cached rerun simulated nothing, so it reports no rate).
+    sim = ""
+    if runner.stats.sim_seconds > 0:
+        sim = (f"; simulated {runner.stats.sim_cycles:,} cycles at "
+               f"{runner.stats.sim_rate:,.0f} cyc/s")
     echo(f"\n[run-all took {time.perf_counter() - total_start:.1f}s with "
          f"jobs={runner.jobs}; cache: {hits} hits, {misses} misses"
          f"{f', {quarantined} quarantined' if quarantined else ''}"
-         f"{'' if runner.use_cache else ' (cache disabled)'}]")
+         f"{'' if runner.use_cache else ' (cache disabled)'}{sim}]")
     # Footer lines contain " took " and are excluded from CI byte-diffs,
     # so the variable quarantine/failure counts never break determinism
     # checks.  Failed runs get their own (loud) trailer.

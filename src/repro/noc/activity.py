@@ -120,7 +120,8 @@ class KernelProfile:
                  f"{total:.2f}s in step phases:"]
         for phase, secs, occ in self.rows():
             lines.append(f"  {phase:7s} {secs:8.2f}s  "
-                         f"active {occ * 100:5.1f}%")
+                         f"active {occ * 100:5.1f}%  "
+                         f"(occupancy {occ:.4f})")
         lines.append("]")
         return "\n".join(lines)
 

@@ -105,7 +105,8 @@ class Network:
     def __init__(self, cfg: SimConfig, threshold_policy=None, *,
                  skip_inactive: Optional[bool] = None,
                  fault_plan: Optional[FaultPlan] = None,
-                 trace: Optional[EventTrace] = None) -> None:
+                 trace: Optional[EventTrace] = None,
+                 metrics=None) -> None:
         self.cfg = cfg
         #: Event recorder (:mod:`repro.trace`), or None.  Tracing is a
         #: pure observer: every hook below is a single attribute check
@@ -113,6 +114,12 @@ class Network:
         #: so traced and untraced runs are byte-identical (asserted by
         #: tests/test_trace_identity.py and the trace-off CI diff).
         self.trace = trace
+        #: Telemetry recorder (:class:`repro.metrics.MetricsRun`), or
+        #: None.  Same pure-observer contract as the trace: one ``is
+        #: None`` check per hook site when disabled, never mutates
+        #: simulation state (tests/test_metrics_identity.py and the
+        #: metrics-off CI diff).
+        self.metrics = metrics
         self.mesh = Mesh(cfg.noc.width, cfg.noc.height)
         self.now = 0
         self.ring: Optional[BypassRing] = None
@@ -213,6 +220,8 @@ class Network:
                 ctrl = self.controllers[wf.node]
                 ctrl.wu_ignore = wf.ignore
                 ctrl.wu_delay = wf.delay
+        if self.metrics is not None:
+            self.metrics.attach(self)
 
     def _make_controller(self, node: int,
                          policy):
@@ -339,6 +348,8 @@ class Network:
                 self.stats.on_packet_duplicate(pkt)
                 return
         self.stats.on_packet_ejected(pkt)
+        if self.metrics is not None:
+            self.metrics.on_packet_ejected(pkt, self.stats)
 
     def wake_request(self, node: int, out_port: int) -> None:
         """Conventional PG: a stalled SA request (or an early-wakeup RC
@@ -533,6 +544,8 @@ class Network:
             self._phase_pg_full(now)
             self._phase_stats_full(now)
         self._check_liveness(now)
+        if self.metrics is not None:
+            self.metrics.on_cycle(self)
 
     def _step_profiled(self, now: int) -> None:
         """One cycle with per-phase wall-clock + occupancy accounting."""
@@ -858,6 +871,8 @@ class Network:
         for node, event in events:
             if self.trace is not None:
                 self._trace_pg_event(node, event)
+            if self.metrics is not None:
+                self.metrics.on_pg_event(node, event)
             if event == Transition.GATED_OFF:
                 if design == Design.NORD:
                     self._on_nord_gate_off(node)

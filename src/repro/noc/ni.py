@@ -287,6 +287,9 @@ class NetworkInterface:
             trace.record(now, EventKind.FWD, self.node, port=ring_port,
                          vc=out_vc, pid=pkt.pid, flit=flit.index,
                          info=1 if fast else 0)
+        metrics = self.network.metrics
+        if metrics is not None:
+            metrics.on_bypass_forward(self.node)
         if self.network.router_on(self.node):
             self.network.mark_ni_port_used(self.node, ring_port)
         self.network.send_flit(self.node, ring_port, flit, out_vc, now,
@@ -386,6 +389,9 @@ class NetworkInterface:
                          self.network.ring.outport[self.node],
                          vc=out_vc, pid=pkt.pid, flit=flit.index,
                          info=0 if path == "router" else 1)
+        metrics = self.network.metrics
+        if metrics is not None:
+            metrics.on_inject(self.node, path)
         self.inj_sent += 1
         self.n_injected_flits += 1
         if flit.is_tail:

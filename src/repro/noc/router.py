@@ -111,6 +111,19 @@ class Router:
     def occupancy(self) -> int:
         return sum(port.occupancy() for port in self.in_ports)
 
+    def vc_occupancy_split(self, escape_vcs: int) -> Tuple[int, int]:
+        """Buffered flits split into ``(escape, adaptive)`` VC classes,
+        walking only the occupied VCs (telemetry sampling hook)."""
+        esc = ada = 0
+        for port, occ in zip(self.in_ports, self.occupied_vcs):
+            for vc_id in occ:
+                n = len(port.vcs[vc_id])
+                if vc_id < escape_vcs:
+                    esc += n
+                else:
+                    ada += n
+        return esc, ada
+
     def deliver(self, in_port: int, vc_id: int, flit: Flit) -> None:
         """LT completion: write an arriving flit into its input VC."""
         if flit.packet.failed:

@@ -96,6 +96,15 @@ class RunResult:
     #: closed).  Kept separate: their true length is unknown, so folding
     #: them into ``idle_periods`` would bias Fig. 3's short_fraction.
     censored_idle_periods: Dict[int, int] = field(default_factory=dict)
+    # -- host timing (stamped by the runner, not the simulator) ------------
+    #: Wall-clock seconds the producing process spent simulating this
+    #: run.  Measured, not simulated: excluded from equality and from
+    #: :meth:`to_dict` so the determinism contracts hold (serial ==
+    #: parallel == cached); 0.0 on cache hits.
+    wall_clock_s: float = field(default=0.0, compare=False)
+    #: ``total simulated cycles / wall_clock_s`` for the producing run
+    #: (same caveats as :attr:`wall_clock_s`).
+    simulated_cycles_per_sec: float = field(default=0.0, compare=False)
 
     # -- aggregate metrics -------------------------------------------------
     @property
@@ -164,6 +173,10 @@ class RunResult:
                                 for k, v in self.idle_periods.items()}
         data["censored_idle_periods"] = {
             str(k): v for k, v in self.censored_idle_periods.items()}
+        # Host-timing fields never serialize: cached results would
+        # otherwise differ byte-for-byte between producing machines.
+        data.pop("wall_clock_s", None)
+        data.pop("simulated_cycles_per_sec", None)
         return data
 
     @classmethod
@@ -177,6 +190,8 @@ class RunResult:
         data["censored_idle_periods"] = {
             int(k): v
             for k, v in data.get("censored_idle_periods", {}).items()}
+        data.pop("wall_clock_s", None)
+        data.pop("simulated_cycles_per_sec", None)
         return cls(**data)
 
 

@@ -1,0 +1,157 @@
+"""The perf-regression benchmark ledger (``repro.metrics.bench``).
+
+Covers ledger generation on a restricted matrix, the comparison gate
+(including that it demonstrably fires on an injected slowdown), the
+``--check`` exit code, and the committed ``BENCH_*.json`` at the repo
+root staying well-formed and covering the full pinned matrix.
+"""
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.metrics import bench
+
+REPO = Path(__file__).resolve().parent.parent
+
+
+def tiny_ledger(tmp_path, key="NoRD/uniform/4x4"):
+    return bench.run_matrix(repeats=1, quick=True, only=[key],
+                            echo=lambda *_: None)
+
+
+class TestLedgerGeneration:
+    def test_matrix_keys_shape(self):
+        keys = bench.matrix_keys()
+        assert len(keys) == 16
+        assert "NoRD/uniform/4x4" in keys
+        assert "No_PG/tornado/8x8" in keys
+        assert len(set(keys)) == 16
+
+    def test_restricted_run_measures_only_requested(self, tmp_path):
+        ledger = tiny_ledger(tmp_path)
+        assert set(ledger["points"]) == {"NoRD/uniform/4x4"}
+        point = ledger["points"]["NoRD/uniform/4x4"]
+        assert point["cycles_per_sec"] > 0
+        assert point["peak_rss_kb"] > 0
+        assert len(point["samples"]) == 1
+        assert ledger["schema"] == bench.SCHEMA
+        assert ledger["quick"] is True
+
+    def test_normalize_host(self):
+        assert bench.normalize_host("My Laptop.local") == "my-laptop-local"
+        assert bench.normalize_host("") == "unknown"
+        assert bench.normalize_host("---") == "unknown"
+        assert bench.ledger_path("/x", "CI runner 7").name \
+            == "BENCH_ci-runner-7.json"
+
+
+class TestComparisonGate:
+    def ledgers(self, cps_base, cps_cur, key="NoRD/uniform/4x4"):
+        def mk(cps):
+            return {"schema": 1, "points": {
+                key: {"cycles_per_sec": cps, "peak_rss_kb": 1000,
+                      "samples": [cps]}}}
+        return mk(cps_cur), mk(cps_base)
+
+    def test_within_threshold_passes(self):
+        current, baseline = self.ledgers(10_000, 9_000)  # -10%
+        failures, _ = bench.compare(current, baseline, threshold=0.15)
+        assert failures == []
+
+    def test_regression_past_threshold_fails(self):
+        current, baseline = self.ledgers(10_000, 8_000)  # -20%
+        failures, _ = bench.compare(current, baseline, threshold=0.15)
+        assert len(failures) == 1
+        assert "NoRD/uniform/4x4" in failures[0]
+        assert "20.0%" in failures[0]
+
+    def test_speedup_is_a_note_not_a_failure(self):
+        current, baseline = self.ledgers(10_000, 20_000)  # +100%
+        failures, notes = bench.compare(current, baseline)
+        assert failures == []
+        assert any("+100.0%" in n for n in notes)
+
+    def test_missing_point_fails(self):
+        current, baseline = self.ledgers(10_000, 10_000)
+        current["points"] = {}
+        failures, _ = bench.compare(current, baseline)
+        assert failures and "missing" in failures[0]
+
+    def test_rss_growth_is_informational(self):
+        current, baseline = self.ledgers(10_000, 10_000)
+        current["points"]["NoRD/uniform/4x4"]["peak_rss_kb"] = 2000
+        failures, notes = bench.compare(current, baseline)
+        assert failures == []
+        assert any("RSS" in n for n in notes)
+
+    def test_gate_fires_on_injected_slowdown(self, monkeypatch, tmp_path):
+        """The end-to-end proof: slow the measured kernel down and the
+        check against a prior honest ledger must fail."""
+        honest = tiny_ledger(tmp_path)
+        real_measure = bench.measure_point
+
+        def slowed(*args, **kw):
+            cps, rss = real_measure(*args, **kw)
+            return cps / 3, rss    # a 3x slowdown, way past 15%
+
+        monkeypatch.setattr(bench, "measure_point", slowed)
+        slow = tiny_ledger(tmp_path)
+        failures, _ = bench.compare(slow, honest)
+        assert len(failures) == 1
+        assert "below baseline" in failures[0]
+
+
+class TestMainCheck:
+    def test_check_exits_nonzero_on_regression(self, tmp_path,
+                                               monkeypatch, capsys):
+        baseline = tiny_ledger(tmp_path)
+        for p in baseline["points"].values():
+            p["cycles_per_sec"] *= 10   # make the baseline unbeatable
+        base_path = tmp_path / "base.json"
+        base_path.write_text(json.dumps(baseline))
+        rc = bench.main(["--quick", "--repeats", "1",
+                         "--only", "NoRD/uniform/4x4",
+                         "--out", str(tmp_path / "cur.json"),
+                         "--against", str(base_path), "--check"])
+        assert rc == 1
+        assert "REGRESSION" in capsys.readouterr().out
+
+    def test_check_passes_against_honest_baseline(self, tmp_path, capsys):
+        base_path = tmp_path / "base.json"
+        base_path.write_text(json.dumps(tiny_ledger(tmp_path)))
+        rc = bench.main(["--quick", "--repeats", "1",
+                         "--only", "NoRD/uniform/4x4",
+                         "--out", str(tmp_path / "cur.json"),
+                         "--against", str(base_path), "--check",
+                         "--threshold", "0.9"])
+        assert rc == 0
+        assert "ok:" in capsys.readouterr().out
+
+    def test_check_without_baseline_writes_fresh_ledger(self, tmp_path,
+                                                        capsys):
+        out = tmp_path / "fresh.json"
+        rc = bench.main(["--quick", "--repeats", "1",
+                         "--only", "NoRD/uniform/4x4",
+                         "--out", str(out), "--check"])
+        assert rc == 0
+        assert out.is_file()
+        assert "no baseline" in capsys.readouterr().out
+
+    def test_unknown_only_key_rejected(self, tmp_path):
+        with pytest.raises(SystemExit):
+            bench.main(["--only", "NoRD/chaos/4x4",
+                        "--out", str(tmp_path / "x.json")])
+
+
+class TestCommittedLedger:
+    def test_committed_ledger_exists_and_covers_matrix(self):
+        ledgers = sorted(REPO.glob("BENCH_*.json"))
+        assert ledgers, "no committed BENCH_*.json at repo root"
+        data = json.loads(ledgers[0].read_text())
+        assert data["schema"] == bench.SCHEMA
+        assert set(data["points"]) == set(bench.matrix_keys())
+        for key, point in data["points"].items():
+            assert point["cycles_per_sec"] > 0, key
+            assert len(point["samples"]) == data["repeats"]

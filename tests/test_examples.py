@@ -36,6 +36,7 @@ def test_example_runs_at_smoke_scale(example, tmp_path):
     env["PYTHONPATH"] = str(REPO / "src")
     env["REPRO_EXAMPLE_SCALE"] = "smoke"
     env["REPRO_CACHE_DIR"] = str(tmp_path / "cache")
+    env["REPRO_EXAMPLE_OUT"] = str(tmp_path / "artifacts")
     proc = subprocess.run(
         [sys.executable, str(example)] + ARGS.get(example.name, []),
         capture_output=True, text=True, timeout=600, env=env,
@@ -44,6 +45,16 @@ def test_example_runs_at_smoke_scale(example, tmp_path):
         f"{example.name} failed:\n--- stdout ---\n{proc.stdout}"
         f"\n--- stderr ---\n{proc.stderr}")
     assert proc.stdout.strip(), f"{example.name} printed nothing"
+    if example.name == "power_timeline.py":
+        # The timeline example must emit a self-contained HTML report
+        # built from its metrics artifacts (examples-smoke CI checks
+        # the same file).
+        report = tmp_path / "artifacts" / "report.html"
+        assert report.is_file(), "power_timeline.py emitted no report"
+        text = report.read_text()
+        assert "<svg" in text and "</html>" in text
+        jsonl = list((tmp_path / "artifacts").glob("*.metrics.jsonl"))
+        assert len(jsonl) == 2, "expected one artifact per design"
 
 
 def test_invalid_scale_is_rejected_up_front():
