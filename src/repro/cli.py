@@ -24,6 +24,7 @@ from typing import List, Optional
 
 from . import metrics as metrics_mod
 from . import trace as trace_mod
+from .noc import network as network_mod
 from .config import Design, NoCConfig, SimConfig
 from .experiments import parallel
 from .noc import activity
@@ -57,6 +58,12 @@ def _add_common(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--no-cache", action="store_true",
                         help="ignore and do not update the on-disk result "
                              "cache (see REPRO_CACHE_DIR)")
+    parser.add_argument("--backend", choices=network_mod.BACKENDS,
+                        default=None,
+                        help="simulation kernel: the object-graph "
+                             "reference ('ref') or the struct-of-arrays "
+                             "kernel ('soa'); default: REPRO_BACKEND, "
+                             "then 'ref'")
     parser.add_argument("--timeout", type=float, default=None, metavar="SEC",
                         help="per-run wall-clock budget in seconds "
                              "(default: unlimited)")
@@ -122,7 +129,8 @@ def build_parser() -> argparse.ArgumentParser:
     _add_common(p_sim)
     p_sim.add_argument("--design", choices=Design.ALL, default=Design.NORD)
     p_sim.add_argument("--traffic", default="uniform",
-                       choices=("uniform", "bitcomp", "tornado") + BENCHMARKS)
+                       choices=("uniform", "bitcomp", "tornado",
+                                "transpose", "hotspot") + BENCHMARKS)
     p_sim.add_argument("--rate", type=float, default=0.1,
                        help="flits/node/cycle (synthetic traffic only)")
     p_sim.add_argument("--width", type=int, default=4)
@@ -237,6 +245,10 @@ def _simulate(args: argparse.Namespace) -> None:
         spec = parallel.bitcomp_spec(args.rate, seed=args.seed)
     elif args.traffic == "tornado":
         spec = parallel.tornado_spec(args.rate, seed=args.seed)
+    elif args.traffic == "transpose":
+        spec = parallel.transpose_spec(args.rate, seed=args.seed)
+    elif args.traffic == "hotspot":
+        spec = parallel.hotspot_spec(args.rate, seed=args.seed)
     else:
         spec = parallel.parsec_spec(args.traffic, seed=args.seed)
     trace_spec = _trace_spec(args)
@@ -282,6 +294,12 @@ def _simulate(args: argparse.Namespace) -> None:
 
 def main(argv: Optional[List[str]] = None) -> int:
     args = build_parser().parse_args(argv)
+    if getattr(args, "backend", None) is not None:
+        # Propagate through the environment so worker processes and
+        # every DesignPoint resolve the same kernel (and cache keys
+        # fold it in via DesignPoint.resolved_backend()).
+        import os
+        os.environ["REPRO_BACKEND"] = args.backend
     if args.command == "list":
         for name, (_, description) in EXPERIMENTS.items():
             print(f"{name:8s} {description}")

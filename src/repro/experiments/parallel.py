@@ -52,11 +52,14 @@ from ..stats.collector import RunResult
 from ..trace.recorder import TraceSpec, export_trace
 from ..traffic.base import NullTraffic, TrafficGenerator
 from ..traffic.parsec import make_traffic
-from ..traffic.synthetic import bit_complement, tornado, uniform_random
+from ..traffic.synthetic import (bit_complement, hotspot, tornado,
+                                 transpose, uniform_random)
 
 #: Bump when the cache file layout changes; invalidates old entries.
 #: 2: design points gained a ``faults`` field (fault-injection plans).
-CACHE_FORMAT = 2
+#: 3: cache keys fold in the resolved simulation backend (ref vs soa)
+#:    and ``TrafficSpec`` gained hotspot parameters.
+CACHE_FORMAT = 3
 
 #: ``DesignPoint.network`` value selecting the bufferless datapath
 #: (Section 6.8 discussion) instead of the standard ``Network``.
@@ -73,15 +76,19 @@ SweepOutcome = Tuple[RunResult, EnergyReport]
 class TrafficSpec:
     """Picklable description of a traffic generator.
 
-    ``kind`` is one of ``uniform``, ``bitcomp``, ``tornado``, ``parsec``
-    or ``null``; ``rate`` applies to the synthetic kinds, ``benchmark``
-    to ``parsec``.
+    ``kind`` is one of ``uniform``, ``bitcomp``, ``tornado``,
+    ``transpose``, ``hotspot``, ``parsec`` or ``null``; ``rate`` applies
+    to the synthetic kinds, ``benchmark`` to ``parsec``.  ``hotspots``
+    and ``fraction`` apply only to ``hotspot`` (empty ``hotspots`` =
+    the mesh-center default).
     """
 
     kind: str
     rate: float = 0.0
     benchmark: str = ""
     seed: int = 1
+    hotspots: Tuple[int, ...] = ()
+    fraction: float = 0.2
 
     def build(self, mesh) -> TrafficGenerator:
         if self.kind == "uniform":
@@ -90,6 +97,11 @@ class TrafficSpec:
             return bit_complement(mesh, self.rate, seed=self.seed)
         if self.kind == "tornado":
             return tornado(mesh, self.rate, seed=self.seed)
+        if self.kind == "transpose":
+            return transpose(mesh, self.rate, seed=self.seed)
+        if self.kind == "hotspot":
+            return hotspot(mesh, self.rate, seed=self.seed,
+                           hotspots=self.hotspots, fraction=self.fraction)
         if self.kind == "parsec":
             return make_traffic(mesh, self.benchmark, seed=self.seed)
         if self.kind == "null":
@@ -98,7 +110,8 @@ class TrafficSpec:
 
     def to_key(self) -> Dict[str, object]:
         return {"kind": self.kind, "rate": self.rate,
-                "benchmark": self.benchmark, "seed": self.seed}
+                "benchmark": self.benchmark, "seed": self.seed,
+                "hotspots": list(self.hotspots), "fraction": self.fraction}
 
 
 def uniform_spec(rate: float, seed: int = 1) -> TrafficSpec:
@@ -111,6 +124,17 @@ def bitcomp_spec(rate: float, seed: int = 1) -> TrafficSpec:
 
 def tornado_spec(rate: float, seed: int = 1) -> TrafficSpec:
     return TrafficSpec(kind="tornado", rate=rate, seed=seed)
+
+
+def transpose_spec(rate: float, seed: int = 1) -> TrafficSpec:
+    return TrafficSpec(kind="transpose", rate=rate, seed=seed)
+
+
+def hotspot_spec(rate: float, seed: int = 1,
+                 hotspots: Sequence[int] = (),
+                 fraction: float = 0.2) -> TrafficSpec:
+    return TrafficSpec(kind="hotspot", rate=rate, seed=seed,
+                       hotspots=tuple(hotspots), fraction=fraction)
 
 
 def parsec_spec(benchmark: str, seed: int = 1) -> TrafficSpec:
@@ -164,6 +188,12 @@ class DesignPoint:
     #: the ``trace`` policy: a pure observer, absent from
     #: :meth:`cache_key`, skips the cache read but writes back.
     metrics: Optional[MetricsSpec] = None
+    #: Simulation backend: ``"ref"``, ``"soa"`` or ``None`` (= defer to
+    #: ``REPRO_BACKEND``, then the reference kernel).  The *resolved*
+    #: backend enters :meth:`cache_key` - the two kernels are proven
+    #: result-identical, but keying them separately keeps a drifting
+    #: backend from silently poisoning the shared cache.
+    backend: Optional[str] = None
 
     def __post_init__(self) -> None:
         if self.prepare is not None and self.prepare not in PREPARE_HOOKS:
@@ -174,6 +204,19 @@ class DesignPoint:
         if self.faults is not None and self.network == BUFFERLESS_NETWORK:
             raise ValueError(
                 "fault injection is not supported on the bufferless network")
+        if self.backend is not None:
+            from ..noc.network import resolve_backend
+            resolve_backend(self.backend)  # raises on unknown names
+
+    def resolved_backend(self) -> str:
+        """The backend this point will actually run on (``ref``/``soa``).
+
+        The bufferless datapath has a single implementation, so it
+        always resolves to ``ref`` regardless of the environment."""
+        if self.network == BUFFERLESS_NETWORK:
+            return "ref"
+        from ..noc.network import resolve_backend
+        return resolve_backend(self.backend)
 
     def cache_key(self) -> str:
         """Content hash identifying this point's result on disk.
@@ -194,6 +237,7 @@ class DesignPoint:
             "prepare": self.prepare,
             "network": self.network,
             "faults": faults,
+            "backend": self.resolved_backend(),
         })
 
 
@@ -246,7 +290,7 @@ def execute_point(point: DesignPoint) -> SweepOutcome:
         if point.metrics is not None:
             metrics = point.metrics.build()
         net = Network(cfg, fault_plan=point.faults, trace=trace,
-                      metrics=metrics)
+                      metrics=metrics, backend=point.backend)
     if point.prepare is not None:
         PREPARE_HOOKS[point.prepare](net)
     traffic = point.traffic.build(net.mesh)

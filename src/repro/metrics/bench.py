@@ -12,7 +12,9 @@ cross-host noise.
 
 Points run the real :class:`~repro.noc.network.Network` directly (no
 result cache, no metrics attached), so the number is the kernel's own
-throughput.  Peak RSS comes from ``getrusage`` and is process-monotone
+throughput.  ``--backend soa`` benches the struct-of-arrays kernel
+instead and maintains a separate ``BENCH_<host>.soa.json`` ledger, so
+each kernel is regression-gated against its own history.  Peak RSS comes from ``getrusage`` and is process-monotone
 (a high-water mark), so it is recorded per point but reported as
 informational only - the regression gate is on cycles/sec.
 """
@@ -31,7 +33,7 @@ from pathlib import Path
 from typing import Dict, Iterable, List, Optional, Tuple
 
 from ..config import Design, small_config
-from ..noc.network import Network
+from ..noc.network import BACKENDS, Network, resolve_backend
 from ..experiments.parallel import TrafficSpec
 
 SCHEMA = 1
@@ -65,8 +67,13 @@ def normalize_host(name: Optional[str] = None) -> str:
     return norm or "unknown"
 
 
-def ledger_path(root=".", host: Optional[str] = None) -> Path:
-    return Path(root) / f"BENCH_{normalize_host(host)}.json"
+def ledger_path(root=".", host: Optional[str] = None,
+                backend: str = "ref") -> Path:
+    """Per-host ledger file; the non-default backend gets its own
+    ledger (``BENCH_<host>.soa.json``) so the two kernels' numbers
+    never gate each other by accident."""
+    suffix = "" if backend == "ref" else f".{backend}"
+    return Path(root) / f"BENCH_{normalize_host(host)}{suffix}.json"
 
 
 def _peak_rss_kb() -> int:
@@ -78,14 +85,14 @@ def _peak_rss_kb() -> int:
 
 
 def measure_point(design: str, traffic: str, width: int, height: int,
-                  cycles: Tuple[int, int, int] = FULL_CYCLES
-                  ) -> Tuple[float, int]:
+                  cycles: Tuple[int, int, int] = FULL_CYCLES,
+                  backend: Optional[str] = None) -> Tuple[float, int]:
     """One timed run -> (simulated cycles/sec, peak RSS in KB)."""
     warmup, measure, drain = cycles
     cfg = replace(small_config(design, width=width, height=height,
                                warmup=warmup, measure=measure),
                   drain_cycles=drain)
-    net = Network(cfg)
+    net = Network(cfg, backend=backend)
     gen = TrafficSpec(kind=traffic, rate=PINNED_RATE).build(net.mesh)
     t0 = time.perf_counter()
     net.run(gen)
@@ -96,9 +103,11 @@ def measure_point(design: str, traffic: str, width: int, height: int,
 
 def run_matrix(repeats: int = 5, quick: bool = False,
                only: Optional[Iterable[str]] = None,
+               backend: Optional[str] = None,
                echo=print) -> Dict[str, object]:
     """Run the pinned matrix and return the ledger dict."""
     cycles = QUICK_CYCLES if quick else FULL_CYCLES
+    resolved = resolve_backend(backend)
     wanted = set(only) if only else None
     points: Dict[str, dict] = {}
     for design in DESIGNS:
@@ -110,7 +119,8 @@ def run_matrix(repeats: int = 5, quick: bool = False,
                 samples, rss = [], 0
                 for _ in range(max(1, repeats)):
                     cps, peak = measure_point(design, traffic, w, h,
-                                              cycles=cycles)
+                                              cycles=cycles,
+                                              backend=resolved)
                     samples.append(round(cps, 1))
                     rss = max(rss, peak)
                 median = statistics.median(samples)
@@ -121,6 +131,7 @@ def run_matrix(repeats: int = 5, quick: bool = False,
                      f"(n={len(samples)}, rss {rss} KB)")
     return {"schema": SCHEMA, "host": normalize_host(),
             "python": platform.python_version(),
+            "backend": resolved,
             "repeats": max(1, repeats), "quick": quick,
             "cycles": list(cycles), "points": points}
 
@@ -190,7 +201,13 @@ def main(argv: Optional[List[str]] = None) -> int:
     parser.add_argument("--only", action="append", metavar="KEY",
                         help="restrict to matrix key(s) like "
                              "NoRD/uniform/4x4 (repeatable)")
+    parser.add_argument("--backend", choices=BACKENDS, default=None,
+                        help="simulation kernel to bench (default: "
+                             "REPRO_BACKEND, then 'ref'); the soa "
+                             "kernel keeps its own ledger "
+                             "(BENCH_<host>.soa.json)")
     args = parser.parse_args(argv)
+    backend = resolve_backend(args.backend)
     if args.only:
         known = set(matrix_keys())
         for key in args.only:
@@ -199,7 +216,7 @@ def main(argv: Optional[List[str]] = None) -> int:
                              + ", ".join(sorted(known)))
     repeats = args.repeats if args.repeats != 5 or not args.quick \
         else 3
-    out = Path(args.out) if args.out else ledger_path()
+    out = Path(args.out) if args.out else ledger_path(backend=backend)
     baseline = None
     baseline_path = Path(args.against) if args.against else out
     if (args.check or args.against) and baseline_path.is_file():
@@ -208,7 +225,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         print(f"[bench] no baseline at {baseline_path}; writing a "
               f"fresh ledger instead of checking")
     ledger = run_matrix(repeats=repeats, quick=args.quick,
-                        only=args.only)
+                        only=args.only, backend=backend)
     out.write_text(json.dumps(ledger, indent=2, sort_keys=True) + "\n")
     print(f"[bench] ledger written to {out}")
     if baseline is None:

@@ -91,6 +91,28 @@ def _skip_disabled_by_env() -> bool:
         "1", "true", "yes", "on")
 
 
+#: Known simulation backends: the object-graph reference kernel and the
+#: struct-of-arrays kernel (:mod:`repro.noc.soa`), proven byte-identical
+#: by tests/test_backend_identity.py and the backend-drift CI job.
+BACKENDS = ("ref", "soa")
+
+
+def resolve_backend(explicit: Optional[str] = None) -> str:
+    """Canonical backend name: explicit argument > ``REPRO_BACKEND`` >
+    ``ref``.  Raises ``ValueError`` on unknown names."""
+    name = explicit
+    if name is None:
+        name = os.environ.get("REPRO_BACKEND", "").strip() or "ref"
+    name = str(name).strip().lower()
+    if name == "reference":
+        name = "ref"
+    if name not in BACKENDS:
+        raise ValueError(
+            f"unknown simulation backend {name!r}; known: "
+            + ", ".join(BACKENDS))
+    return name
+
+
 def _empty_faultplan_env() -> bool:
     """True when REPRO_EMPTY_FAULTPLAN requests an (inert) empty fault
     plan - exercising every fault hook without injecting anything, to
@@ -102,11 +124,38 @@ def _empty_faultplan_env() -> bool:
 class Network:
     """A complete simulated NoC for one design point."""
 
+    #: Canonical name of the kernel implementing this instance
+    #: (:data:`BACKENDS`); the SoA subclass overrides it.
+    backend = "ref"
+
+    def __new__(cls, cfg=None, *args, **kwargs):
+        # Backend dispatch: ``Network(cfg, backend="soa")`` (or
+        # ``REPRO_BACKEND=soa``) constructs the struct-of-arrays kernel
+        # instead.  Only the base class dispatches - subclasses (and the
+        # SoA kernel itself) construct literally.  Requests the SoA
+        # kernel cannot serve - fault injection, telemetry sampling, or
+        # an explicit dense-scan (``skip_inactive=False`` /
+        # ``REPRO_NO_SKIP``) run - fall back to the reference kernel,
+        # which is result-identical by the backend-identity contract.
+        if cls is Network and cfg is not None:
+            backend = resolve_backend(kwargs.get("backend"))
+            if (backend == "soa"
+                    and kwargs.get("fault_plan") is None
+                    and kwargs.get("metrics") is None
+                    and kwargs.get("skip_inactive") is not False
+                    and not _skip_disabled_by_env()
+                    and not _empty_faultplan_env()):
+                from .soa import SoANetwork
+                return super().__new__(SoANetwork)
+        return super().__new__(cls)
+
     def __init__(self, cfg: SimConfig, threshold_policy=None, *,
                  skip_inactive: Optional[bool] = None,
                  fault_plan: Optional[FaultPlan] = None,
                  trace: Optional[EventTrace] = None,
-                 metrics=None) -> None:
+                 metrics=None, backend: Optional[str] = None) -> None:
+        if backend is not None:
+            resolve_backend(backend)  # raises on unknown names
         self.cfg = cfg
         #: Event recorder (:mod:`repro.trace`), or None.  Tracing is a
         #: pure observer: every hook below is a single attribute check

@@ -1,0 +1,1006 @@
+"""Struct-of-arrays (SoA) simulation backend.
+
+A drop-in second kernel for :class:`repro.noc.network.Network`, selected
+with ``Network(cfg, backend="soa")``, the ``--backend soa`` CLI flag or
+``REPRO_BACKEND=soa``.  The object-graph kernel remains the reference -
+exactly the ``REPRO_NO_SKIP`` precedent - and this kernel is proven
+byte-identical to it by ``tests/test_backend_identity.py``, the golden
+trace fixtures and the ``backend-drift`` CI job.
+
+Layout
+------
+
+All per-VC router state lives in flat parallel arrays indexed by
+``f = (node * NUM_PORTS + port) * V + vc`` and all output-port state by
+``o = node * NUM_PORTS + port`` (credits flat at ``c = o * V + vc``):
+
+* buffered flits are packed as ints, ``word = index << 2 | tail << 1 |
+  head``, carried next to their ``Packet`` (the identity of a packet -
+  pid, latency timestamps - stays an object; everything per-flit is a
+  machine word);
+* VC state / fifo depth / chosen route / downstream credit level are
+  mirrored in numpy arrays (``int8``/``int32``/``int64``), which turn
+  the per-cycle BW/RC/VA/SA eligibility scans into a handful of
+  vectorized mask operations over the whole mesh instead of a Python
+  loop over every (router, port, VC);
+* links stay event-driven delay lines, but carry ``(word, packet, vc)``
+  triples instead of Flit objects.
+
+The scans are *discovery only*: the masks select exactly the candidate
+set the reference stages would visit (proven side-effect-free to skip
+otherwise), and every committed action - arbitration, credit flow,
+traversal, trace events - re-runs the reference logic in the reference
+visit order (node-ascending, port-ascending, VC-ascending), sharing the
+very same round-robin arbiter instances the reference router builds.
+Network interfaces, power-gate controllers, traffic, stats and routing
+functions are reused unchanged; thin shims translate their router
+accesses (credits, VC owners, gating tags) onto the flat arrays.
+
+Scope: the SoA kernel covers everything the paper figures need (all 4
+designs, speculative pipeline, aggressive bypass, tracing).  Fault
+injection and metrics sampling intentionally stay on the reference
+kernel - ``Network.__new__`` falls back automatically.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Dict, List, Optional
+
+import numpy as np
+
+from ..config import SimConfig
+from ..powergate.controller import PowerState
+from ..trace.events import EventKind
+from .flit import Flit, FlitType, Packet
+from .network import Network
+from .router import EJECT_DEPTH, ESCAPE_PATIENCE
+from .topology import LOCAL, NUM_PORTS, OPPOSITE
+
+#: VC states (mirrors :class:`repro.noc.buffer.VCState`).
+_IDLE, _ROUTING, _WAITING_VA, _ACTIVE = 0, 1, 2, 3
+
+
+def _word_of(flit: Flit) -> int:
+    """Pack a Flit into an int word: ``index << 2 | tail << 1 | head``."""
+    return (flit.index << 2) | (flit.is_tail << 1) | flit.is_head
+
+
+def _make_flit(word: int, pkt: Packet) -> Flit:
+    """Rebuild a Flit object from its packed word (NI boundary only)."""
+    if word & 1:
+        ftype = FlitType.HEAD_TAIL if word & 2 else FlitType.HEAD
+    else:
+        ftype = FlitType.TAIL if word & 2 else FlitType.BODY
+    return Flit(pkt, ftype, word >> 2)
+
+
+class _CreditRef:
+    """Credit-counter view over the flat credit arrays.
+
+    Implements the :class:`repro.noc.buffer.CreditCounter` protocol
+    (same overflow/underflow messages) so the NI and the inherited
+    power-transition code mutate SoA credit state transparently."""
+
+    __slots__ = ("_net", "_idx")
+
+    def __init__(self, net: "SoANetwork", idx: int) -> None:
+        self._net = net
+        self._idx = idx
+
+    @property
+    def credits(self) -> int:
+        return self._net._credit[self._idx]
+
+    @credits.setter
+    def credits(self, value: int) -> None:
+        self._net._credit[self._idx] = value
+        self._net._credit_np[self._idx] = value
+
+    @property
+    def max_credits(self) -> int:
+        return self._net._maxc[self._idx]
+
+    @max_credits.setter
+    def max_credits(self, value: int) -> None:
+        self._net._maxc[self._idx] = value
+
+    @property
+    def available(self) -> bool:
+        return self._net._credit[self._idx] > 0
+
+    def consume(self) -> None:
+        net, i = self._net, self._idx
+        if net._credit[i] <= 0:
+            raise RuntimeError("credit underflow: flow control violated")
+        net._credit[i] -= 1
+        net._credit_np[i] -= 1
+
+    def restore(self) -> None:
+        net, i = self._net, self._idx
+        if net._credit[i] >= net._maxc[i]:
+            raise RuntimeError("credit overflow: flow control violated")
+        net._credit[i] += 1
+        net._credit_np[i] += 1
+
+    def set_limit(self, limit: int) -> None:
+        net, i = self._net, self._idx
+        net._maxc[i] = limit
+        if net._credit[i] > limit:
+            net._credit[i] = limit
+            net._credit_np[i] = limit
+
+
+class _SoAOutPort:
+    """Output-port view: shared owner list + flat credit/gating state."""
+
+    __slots__ = ("_net", "_o", "port_id", "credit", "vc_owner")
+
+    def __init__(self, net: "SoANetwork", o: int, port_id: int) -> None:
+        self._net = net
+        self._o = o
+        self.port_id = port_id
+        base = o * net._V
+        self.credit = [_CreditRef(net, base + v) for v in range(net._V)]
+        self.vc_owner = net._owner[o]  # the live list, not a copy
+
+    @property
+    def gated(self) -> bool:
+        return self._net._gated[self._o]
+
+    @gated.setter
+    def gated(self, value: bool) -> None:
+        self._net._gated[self._o] = value
+        self._net._gated_np[self._o] = value
+
+    @property
+    def failed(self) -> bool:
+        return self._net._failed[self._o]
+
+    @failed.setter
+    def failed(self, value: bool) -> None:
+        self._net._failed[self._o] = value
+
+
+class _SoARouter:
+    """Router facade over the flat arrays.
+
+    Serves three consumers: the NI (credits/owners on the ring port),
+    the inherited power-gating transitions, and the routing functions'
+    ``RouterView`` protocol."""
+
+    __slots__ = ("_net", "node", "out_ports", "ports_used_by_ni")
+
+    def __init__(self, net: "SoANetwork", node: int) -> None:
+        self._net = net
+        self.node = node
+        self.out_ports = [_SoAOutPort(net, node * NUM_PORTS + p, p)
+                          for p in range(NUM_PORTS)]
+        self.ports_used_by_ni = net._ports_used[node]
+
+    @property
+    def empty(self) -> bool:
+        return self._net._occ_cnt[self.node] == 0
+
+    # -- counters consumed by Network._snapshot_counters ---------------
+    @property
+    def n_buffer_writes(self) -> int:
+        return self._net._nbw[self.node]
+
+    @property
+    def n_buffer_reads(self) -> int:
+        return self._net._nbrd[self.node]
+
+    @property
+    def n_xbar_traversals(self) -> int:
+        return self._net._nxb[self.node]
+
+    @property
+    def n_va_grants(self) -> int:
+        return self._net._nva[self.node]
+
+    @property
+    def n_sa_grants(self) -> int:
+        return self._net._nsa[self.node]
+
+    # -- RouterView protocol (routing functions) ------------------------
+    def port_usable(self, port: int) -> bool:
+        return self._net.port_usable(self.node, port)
+
+    def neighbor_awake(self, port: int) -> bool:
+        return self._net.neighbor_awake(self.node, port)
+
+    def port_failed(self, port: int) -> bool:
+        return self._net._failed[self.node * NUM_PORTS + port]
+
+    # -- services used by the inherited power-transition code ------------
+    def deliver(self, in_port: int, vc_id: int, flit: Flit) -> None:
+        self._net._deliver_word(self.node, in_port, vc_id, _word_of(flit),
+                                flit.packet)
+
+    def reset_vcs_routed_to(self, out_port: int) -> None:
+        self._net._reset_vcs_routed_to(self.node, out_port)
+
+    def has_commitment_to(self, out_port: int, *, early: bool) -> bool:
+        return self._net._has_commitment_to(self.node, out_port, early)
+
+
+class SoANetwork(Network):
+    """The struct-of-arrays kernel (see the module docstring)."""
+
+    backend = "soa"
+
+    def __init__(self, cfg: SimConfig, threshold_policy=None, *,
+                 skip_inactive: Optional[bool] = None,
+                 fault_plan=None, trace=None, metrics=None,
+                 backend: Optional[str] = None) -> None:
+        if fault_plan is not None:
+            raise ValueError(
+                "the SoA backend does not support fault injection; "
+                "Network(...) dispatch falls back to the reference kernel")
+        if metrics is not None:
+            raise ValueError(
+                "the SoA backend does not support metrics sampling; "
+                "Network(...) dispatch falls back to the reference kernel")
+        super().__init__(cfg, threshold_policy, skip_inactive=True,
+                         trace=trace, backend=backend)
+        if self._faults is not None:
+            raise ValueError(
+                "the SoA backend does not support fault plans "
+                "(REPRO_EMPTY_FAULTPLAN drift runs use the reference "
+                "kernel)")
+        mesh = self.mesh
+        n = mesh.num_nodes
+        v = cfg.noc.vcs_per_port
+        self._V = v
+        self._fpn = NUM_PORTS * v  # flat VC slots per node
+        nf = n * NUM_PORTS * v
+        no = n * NUM_PORTS
+        self._nf = nf
+        self._depth = cfg.noc.buffer_depth
+        self._escape_vcs = cfg.escape_vcs
+        #: flat ids of non-IDLE VCs; drives the sparse discovery path
+        self._busy: set = set()
+        # -- per-VC state (flat lists for scalar commits, numpy mirrors
+        #    for the vectorized discovery masks) -------------------------
+        self._st: List[int] = [_IDLE] * nf
+        self._st_np = np.zeros(nf, dtype=np.int8)
+        self._fifo: List[deque] = [deque() for _ in range(nf)]
+        self._fifo_np = np.zeros(nf, dtype=np.int32)
+        self._route: List[Optional[int]] = [None] * nf
+        self._route_np = np.full(nf, -1, dtype=np.int8)
+        self._routeo_np = np.zeros(nf, dtype=np.int64)
+        self._outvc: List[Optional[int]] = [None] * nf
+        self._outf_np = np.zeros(nf, dtype=np.int64)
+        self._stalled: List[bool] = [False] * nf
+        self._aports: List[List[int]] = [[] for _ in range(nf)]
+        self._eport: List[Optional[int]] = [None] * nf
+        self._fesc: List[bool] = [False] * nf
+        self._vawait: List[int] = [0] * nf
+        self._fsent: List[int] = [0] * nf
+        # -- per-output-port state --------------------------------------
+        self._credit: List[int] = []
+        self._maxc: List[int] = []
+        for o in range(no):
+            depth = (EJECT_DEPTH if o % NUM_PORTS == LOCAL
+                     else cfg.noc.buffer_depth)
+            self._credit.extend([depth] * v)
+            self._maxc.extend([depth] * v)
+        self._credit_np = np.array(self._credit, dtype=np.int64)
+        self._owner: List[List[Optional[int]]] = [[None] * v
+                                                  for _ in range(no)]
+        self._gated: List[bool] = [False] * no
+        self._gated_np = np.zeros(no, dtype=bool)
+        self._failed: List[bool] = [False] * no
+        # -- per-node state ---------------------------------------------
+        self._occ_cnt: List[int] = [0] * n
+        self._nbw = [0] * n
+        self._nbrd = [0] * n
+        self._nxb = [0] * n
+        self._nva = [0] * n
+        self._nsa = [0] * n
+        self._ports_used = [set() for _ in range(n)]
+        # Reuse the reference routers' arbiters: identical instances =
+        # identical round-robin rotation, by construction.
+        self._sa_in = [r._sa_in_arb for r in self.routers]
+        self._sa_out = [r._sa_out_arb for r in self.routers]
+        self._va_pools = [r._va_pool for r in self.routers]
+        # upstream node per (node, in_port); -1 at mesh edges
+        self._up_node = [-1] * no
+        for node in range(n):
+            for port, nbr in mesh.neighbors(node):
+                self._up_node[node * NUM_PORTS + port] = nbr
+        # Replace the object-graph routers with flat-state facades; the
+        # reference Router objects were only scaffolding for the shared
+        # construction path (links, controllers, NIs, stats).
+        self.routers = [_SoARouter(self, node) for node in range(n)]
+
+    # ------------------------------------------------------------------
+    # datapath services (word-based overrides of the Flit-based API)
+    # ------------------------------------------------------------------
+    def send_flit(self, node: int, out_port: int, flit: Flit, out_vc: int,
+                  now: int, *, fast: bool = False) -> None:
+        self._last_progress = now
+        word = _word_of(flit)
+        pkt = flit.packet
+        if out_port == LOCAL:
+            self.eject_lines[node].send((word, pkt, out_vc), now)
+            self._active_eject.add(node)
+            return
+        link = self.links_out[node][out_port]
+        if link is None:
+            raise RuntimeError(f"node {node} has no link on port {out_port}")
+        if fast:
+            link.flits.send((word, pkt, out_vc), now - 1)
+        else:
+            link.flits.send((word, pkt, out_vc), now)
+        self._active_flit_links.add((node, out_port))
+        self.n_link_flits += 1
+        if word & 1:
+            pkt.hops += 1
+
+    def _sink_word(self, node: int, word: int, pkt: Packet,
+                   now: int) -> None:
+        # sink_flit for the packed representation (router eject path);
+        # the Flit-based inherited sink_flit still serves the NI bypass.
+        if self.trace is not None:
+            self.trace.record(now, EventKind.SINK, node, pid=pkt.pid,
+                              flit=word >> 2, info=0)
+        self._last_progress = now
+        self._livelock_ref = now
+        self._outstanding -= 1
+        self.stats.on_flit_ejected()
+        if not (word & 2):
+            return
+        pkt.ejected_cycle = now
+        self.stats.on_packet_ejected(pkt)
+
+    def _deliver_word(self, node: int, in_port: int, v: int, word: int,
+                      pkt: Packet) -> None:
+        """LT completion: write an arriving flit word into its input VC."""
+        f = (node * NUM_PORTS + in_port) * self._V + v
+        dq = self._fifo[f]
+        if len(dq) >= self._depth:
+            raise OverflowError(
+                f"VC {v} overflow (depth {self._depth}): credit "
+                "protocol violated")
+        dq.append((word, pkt))
+        self._fifo_np[f] += 1
+        self._nbw[node] += 1
+        if self.trace is not None:
+            self.trace.record(self.now, EventKind.BW, node, port=in_port,
+                              vc=v, pid=pkt.pid, flit=word >> 2)
+        self._active_routers.add(node)
+        if self._st[f] == _IDLE:
+            if not (word & 1):
+                raise RuntimeError(
+                    f"router {node}: body flit arrived on idle VC "
+                    f"({in_port},{v}): wormhole ordering violated")
+            self._st[f] = _ROUTING
+            self._st_np[f] = _ROUTING
+            self._occ_cnt[node] += 1
+            self._busy.add(f)
+
+    # ------------------------------------------------------------------
+    # phase 2: credit delivery
+    # ------------------------------------------------------------------
+    def _phase_credits_active(self, now: int) -> None:
+        active = self._active_credit_links
+        links_out = self.links_out
+        credit = self._credit
+        credit_np = self._credit_np
+        maxc = self._maxc
+        v = self._V
+        for key in active.sorted():
+            node, port = key
+            link = links_out[node][port]
+            base = (node * NUM_PORTS + port) * v
+            for vc in link.credits.receive(now):
+                c = base + vc
+                if credit[c] >= maxc[c]:
+                    raise RuntimeError(
+                        "credit overflow: flow control violated")
+                credit[c] += 1
+                credit_np[c] += 1
+            if link.credits.empty:
+                active.discard(key)
+
+    _phase_credits_full = _phase_credits_active
+
+    # ------------------------------------------------------------------
+    # phase 4: router pipelines
+    # ------------------------------------------------------------------
+    def _phase_routers_active(self, now: int) -> None:
+        # Candidate discovery over the busy (non-IDLE) VC set.  The
+        # candidate lists are computed once at phase start, which is
+        # exact: during the router phase no node mutates another node's
+        # input-VC state or credits (cross-node effects are owner
+        # releases - read live in VA - and delay-line sends, delivered
+        # in phase 5), and a node's own mutations happen after its own
+        # scan in the reference order too.  Two equivalent discovery
+        # paths: a scalar walk of the busy set when it is small, the
+        # vectorized numpy masks when the mesh is busy enough to
+        # amortize full-array operations.  Both produce the same
+        # f-ascending candidate lists; for SA, entries failing only the
+        # credit check are dropped - exactly the reference's silent
+        # ``continue``s - while gated ports are kept (the wake-up stall
+        # path has side effects) as are LOCAL routes.
+        busy = self._busy
+        if not busy:
+            return
+        speculative = self.cfg.noc.speculative
+        fpn = self._fpn
+        if len(busy) * 8 < self._nf:
+            # Sparse: one scalar walk of the busy set, grouping per node
+            # inline (the walk is f-ascending so nodes are contiguous).
+            st_l = self._st
+            fifo = self._fifo
+            route_l = self._route
+            gated = self._gated
+            credit = self._credit
+            outvc = self._outvc
+            v_per = self._V
+            sa: List[int] = []
+            va: List[int] = []
+            rc: List[int] = []
+            cur = -1
+            for f in sorted(busy):
+                node = f // fpn
+                if node != cur:
+                    if cur >= 0:
+                        self._node_stages(now, cur, sa, va, rc, speculative)
+                        sa, va, rc = [], [], []
+                    cur = node
+                s = st_l[f]
+                if s == _ACTIVE:
+                    if not fifo[f]:
+                        continue
+                    route = route_l[f]
+                    if route != LOCAL:
+                        o = node * NUM_PORTS + route
+                        if (not gated[o]
+                                and credit[o * v_per + outvc[f]] <= 0):
+                            continue
+                    sa.append(f)
+                elif s == _WAITING_VA:
+                    va.append(f)
+                else:
+                    rc.append(f)
+            if cur >= 0:
+                self._node_stages(now, cur, sa, va, rc, speculative)
+            return
+        # Dense: vectorized masks over the full arrays.
+        st = self._st_np
+        sa_f: List[int] = []
+        sa_mask = (st == _ACTIVE) & (self._fifo_np > 0)
+        if sa_mask.any():
+            sa_ok = sa_mask & ((self._route_np == LOCAL)
+                               | self._gated_np[self._routeo_np]
+                               | (self._credit_np[self._outf_np] > 0))
+            sa_f = np.nonzero(sa_ok)[0].tolist()
+        va_f = np.nonzero(st == _WAITING_VA)[0].tolist()
+        rc_f = np.nonzero(st == _ROUTING)[0].tolist()
+        if not (sa_f or va_f or rc_f):
+            return
+        # Group per node in one merged pass: the three lists are each
+        # f-ascending, so every node's entries are contiguous prefixes.
+        i = j = k = 0
+        n_sa, n_va, n_rc = len(sa_f), len(va_f), len(rc_f)
+        sentinel = 1 << 60
+        while i < n_sa or j < n_va or k < n_rc:
+            node = min(sa_f[i] if i < n_sa else sentinel,
+                       va_f[j] if j < n_va else sentinel,
+                       rc_f[k] if k < n_rc else sentinel) // fpn
+            hi = (node + 1) * fpn
+            i0 = i
+            while i < n_sa and sa_f[i] < hi:
+                i += 1
+            j0 = j
+            while j < n_va and va_f[j] < hi:
+                j += 1
+            k0 = k
+            while k < n_rc and rc_f[k] < hi:
+                k += 1
+            self._node_stages(now, node, sa_f[i0:i], va_f[j0:j],
+                              rc_f[k0:k], speculative)
+
+    def _node_stages(self, now: int, node: int, sa: List[int],
+                     va: List[int], rc: List[int],
+                     speculative: bool) -> None:
+        if self.controllers[node].state != PowerState.ON:
+            return
+        if speculative:
+            # RC -> VA -> SA ripple: merge same-cycle promotions into
+            # the later stages' candidate lists, as the reference's
+            # live occupied-VC scan would see them.
+            promoted = self._rc_node(now, node, rc)
+            if promoted:
+                va = sorted(va + promoted)
+            activated = self._va_node(now, node, va)
+            self._sa_node(now, node, sa, extra=activated)
+        else:
+            self._sa_node(now, node, sa)
+            self._va_node(now, node, va)
+            self._rc_node(now, node, rc)
+
+    _phase_routers_full = _phase_routers_active
+
+    def _sa_node(self, now: int, node: int, cand: List[int],
+                 extra: Optional[List[int]] = None) -> None:
+        """Switch allocation for one node (reference stage_sa, flat)."""
+        if extra:
+            cand = sorted(set(cand) | set(extra))
+        if not cand:
+            return
+        v_per = self._V
+        fifo = self._fifo
+        route_l = self._route
+        gated = self._gated
+        failed = self._failed
+        credit = self._credit
+        outvc = self._outvc
+        stalled = self._stalled
+        ports_used = self._ports_used[node]
+        trace = self.trace
+        base_o = node * NUM_PORTS
+        base_f = node * self._fpn
+        sa_in = self._sa_in[node]
+        nominees: Optional[List[Optional[int]]] = None
+        n_nominated = 0
+        last_nominated = -1
+        # cand is f-ascending, so input ports appear in ascending runs
+        idx, n_cand = 0, len(cand)
+        while idx < n_cand:
+            p = (cand[idx] // v_per) % NUM_PORTS
+            run_hi = base_f + (p + 1) * v_per
+            eligible = []
+            while idx < n_cand and cand[idx] < run_hi:
+                f = cand[idx]
+                idx += 1
+                v = f % v_per
+                route = route_l[f]
+                if route == LOCAL:
+                    eligible.append(v)
+                    continue
+                o = base_o + route
+                if gated[o]:
+                    if failed[o]:
+                        raise RuntimeError(
+                            "SoA backend reached a hard-failed port "
+                            "without fault injection")
+                    stalled[f] = True
+                    pkt = fifo[f][0][1]
+                    pkt.wakeup_stall_cycles += 1
+                    if trace is not None:
+                        trace.record(now, EventKind.WU_STALL, node,
+                                     port=route, vc=v, pid=pkt.pid, flit=0)
+                    self.wake_request(node, route)
+                    continue
+                if route in ports_used:
+                    continue
+                if credit[o * v_per + outvc[f]] <= 0:
+                    continue
+                stalled[f] = False
+                eligible.append(v)
+            choice = sa_in[p].grant_from(eligible)
+            if choice is not None:
+                if nominees is None:
+                    nominees = [None] * NUM_PORTS
+                nominees[p] = base_f + p * v_per + choice
+                n_nominated += 1
+                last_nominated = p
+        if nominees is None:
+            return
+        if n_nominated == 1:
+            f = nominees[last_nominated]
+            self._sa_out[node][route_l[f]].grant_from([last_nominated])
+            self._traverse(f, node, last_nominated, now)
+            return
+        by_output: List[List[int]] = [[] for _ in range(NUM_PORTS)]
+        for p in range(NUM_PORTS):
+            f = nominees[p]
+            if f is not None:
+                by_output[route_l[f]].append(p)
+        sa_out = self._sa_out[node]
+        for out_port in range(NUM_PORTS):
+            reqs = by_output[out_port]
+            if not reqs:
+                continue
+            winner_port = sa_out[out_port].grant_from(reqs)
+            self._traverse(nominees[winner_port], node, winner_port, now)
+
+    def _traverse(self, f: int, node: int, in_port: int, now: int) -> None:
+        """Pop the flit word, cross the switch, launch link traversal."""
+        fifo_f = self._fifo[f]
+        word, pkt = fifo_f.popleft()
+        self._fifo_np[f] -= 1
+        self._nbrd[node] += 1
+        self._nsa[node] += 1
+        self._nxb[node] += 1
+        route = self._route[f]
+        out_vc = self._outvc[f]
+        if self.trace is not None:
+            self.trace.record(now, EventKind.SA, node, port=route,
+                              vc=out_vc, pid=pkt.pid, flit=word >> 2)
+        v_per = self._V
+        if route != LOCAL:
+            c = (node * NUM_PORTS + route) * v_per + out_vc
+            if self._credit[c] <= 0:
+                raise RuntimeError("credit underflow: flow control violated")
+            self._credit[c] -= 1
+            self._credit_np[c] -= 1
+        self._fsent[f] += 1
+        v = f % v_per
+        # credit upstream for the freed buffer slot
+        if in_port == LOCAL:
+            self.nis[node].to_router.credit[v].restore()
+        else:
+            up = self._up_node[node * NUM_PORTS + in_port]
+            op = OPPOSITE[in_port]
+            self.links_out[up][op].credits.send(v, now)
+            self._active_credit_links.add((up, op))
+        # launch ST + LT
+        self._last_progress = now
+        if route == LOCAL:
+            self.eject_lines[node].send((word, pkt, out_vc), now)
+            self._active_eject.add(node)
+        else:
+            link = self.links_out[node][route]
+            link.flits.send((word, pkt, out_vc), now)
+            self._active_flit_links.add((node, route))
+            self.n_link_flits += 1
+            if word & 1:
+                pkt.hops += 1
+        if word & 2:
+            # tail: free this VC and release the upstream VC allocation
+            if in_port == LOCAL:
+                self.nis[node].to_router.vc_owner[v] = None
+            else:
+                up = self._up_node[node * NUM_PORTS + in_port]
+                self._owner[up * NUM_PORTS + OPPOSITE[in_port]][v] = None
+            if fifo_f:
+                raise RuntimeError("flits behind a tail in an allocated VC")
+            self._clear_vc(f, node)
+
+    def _clear_vc(self, f: int, node: int) -> None:
+        """Tail left: reset the VC to IDLE (reference reset_route +
+        explicit IDLE + occupied removal)."""
+        self._st[f] = _IDLE
+        self._st_np[f] = _IDLE
+        self._route[f] = None
+        self._route_np[f] = -1
+        self._routeo_np[f] = 0
+        self._outvc[f] = None
+        self._outf_np[f] = 0
+        self._stalled[f] = False
+        self._aports[f] = []
+        self._eport[f] = None
+        self._fesc[f] = False
+        self._vawait[f] = 0
+        self._fsent[f] = 0
+        self._occ_cnt[node] -= 1
+        self._busy.discard(f)
+
+    def _reset_route(self, f: int, node: int) -> None:
+        """Reference VirtualChannel.reset_route on flat state."""
+        if self._fifo[f]:
+            self._st[f] = _ROUTING
+            self._st_np[f] = _ROUTING
+        else:
+            if self._st[f] != _IDLE:
+                self._occ_cnt[node] -= 1
+                self._busy.discard(f)
+            self._st[f] = _IDLE
+            self._st_np[f] = _IDLE
+        self._route[f] = None
+        self._route_np[f] = -1
+        self._routeo_np[f] = 0
+        self._outvc[f] = None
+        self._outf_np[f] = 0
+        self._stalled[f] = False
+        self._aports[f] = []
+        self._eport[f] = None
+        self._fesc[f] = False
+        self._vawait[f] = 0
+        self._fsent[f] = 0
+
+    def _va_node(self, now: int, node: int, cand: List[int]) -> List[int]:
+        """VC allocation for one node; returns the flat ids that went
+        ACTIVE (merged into SA under the speculative pipeline)."""
+        if not cand:
+            return []
+        requests: Optional[List[List[int]]] = None
+        prefs: Dict[int, list] = {}
+        waiting: Dict[int, int] = {}
+        base_f = node * self._fpn
+        for f in cand:
+            if self._st[f] != _WAITING_VA:
+                continue
+            rid = f - base_f
+            cands = self._va_candidates(node, f)
+            if not cands:
+                self._vawait[f] += 1
+                continue
+            if requests is None:
+                requests = [[] for _ in range(self._fpn)]
+            waiting[rid] = f
+            prefs[rid] = cands
+            for res, _, _ in cands:
+                requests[res].append(rid)
+        if not waiting:
+            return []
+        grants = self._va_pools[node].allocate(requests)
+        won: Dict[int, List[int]] = {}
+        for res, rid in enumerate(grants):
+            if rid is not None:
+                won.setdefault(rid, []).append(res)
+        activated: List[int] = []
+        for rid, resources in won.items():
+            f = waiting[rid]
+            for res, is_escape, port in prefs[rid]:
+                if res in resources:
+                    self._commit_va(node, f, res, is_escape, port)
+                    activated.append(f)
+                    break
+        for rid, f in waiting.items():
+            if self._st[f] == _WAITING_VA:
+                self._vawait[f] += 1
+        return activated
+
+    def _va_candidates(self, node: int, f: int) -> list:
+        """(resource, is_escape, port) request list (reference order)."""
+        pkt = self._fifo[f][0][1]
+        cands = []
+        v_per = self._V
+        owner = self._owner
+        base_o = node * NUM_PORTS
+        use_escape_only = pkt.on_escape or self._fesc[f]
+        if not use_escape_only:
+            for port in self._aports[f]:
+                own = owner[base_o + port]
+                lo = 0 if port == LOCAL else self._escape_vcs
+                for v2 in range(lo, v_per):
+                    if own[v2] is None:
+                        cands.append((port * v_per + v2, False, port))
+        if use_escape_only or self._vawait[f] >= ESCAPE_PATIENCE:
+            port = self._eport[f]
+            if port is not None:
+                own = owner[base_o + port]
+                if port == LOCAL:
+                    for v2 in range(v_per):
+                        if own[v2] is None:
+                            cands.append((port * v_per + v2, True, port))
+                            break
+                else:
+                    ev = self.routing.escape_vc_for_hop(node, pkt)
+                    if own[ev] is None:
+                        cands.append((port * v_per + ev, True, port))
+        return cands
+
+    def _commit_va(self, node: int, f: int, resource: int, is_escape: bool,
+                   port: int) -> None:
+        v_per = self._V
+        out_vc = resource % v_per
+        pkt = self._fifo[f][0][1]
+        o = node * NUM_PORTS + port
+        self._route[f] = port
+        self._route_np[f] = port
+        self._routeo_np[f] = o
+        self._outvc[f] = out_vc
+        self._outf_np[f] = o * v_per + out_vc
+        self._st[f] = _ACTIVE
+        self._st_np[f] = _ACTIVE
+        self._vawait[f] = 0
+        self._fsent[f] = 0
+        self._owner[o][out_vc] = pkt.pid
+        self._nva[node] += 1
+        if self.trace is not None:
+            self.trace.record(self.now, EventKind.VA, node, port=port,
+                              vc=out_vc, pid=pkt.pid, flit=0,
+                              info=1 if is_escape else 0)
+        if port != LOCAL:
+            routing = self.routing
+            if is_escape and not pkt.on_escape:
+                pkt.on_escape = True
+            if is_escape:
+                routing.note_escape_hop(node, pkt)
+            elif not routing.is_minimal(node, port, pkt.dst):
+                pkt.misroutes += 1
+
+    def _rc_node(self, now: int, node: int, cand: List[int]) -> List[int]:
+        """Route computation; returns the flat ids promoted to
+        WAITING_VA (merged into VA under the speculative pipeline)."""
+        if not cand:
+            return []
+        promoted: List[int] = []
+        routing = self.routing
+        view = self.routers[node]
+        v_per = self._V
+        for f in cand:
+            if self._st[f] != _ROUTING:
+                continue
+            word, pkt = self._fifo[f][0]
+            if not (word & 1):
+                raise RuntimeError("non-head flit at front of routing VC")
+            choice = routing.route(view, pkt)
+            self._aports[f] = list(choice.adaptive_ports)
+            self._eport[f] = choice.escape_port
+            self._fesc[f] = choice.force_escape
+            self._st[f] = _WAITING_VA
+            self._st_np[f] = _WAITING_VA
+            self._vawait[f] = 0
+            if self.trace is not None:
+                self.trace.record(now, EventKind.RC, node,
+                                  port=(f // v_per) % NUM_PORTS,
+                                  vc=f % v_per, pid=pkt.pid, flit=0)
+            if self.early_wakeup:
+                if pkt.on_escape or self._fesc[f]:
+                    targets = [self._eport[f]]
+                else:
+                    targets = self._aports[f][:1] or [self._eport[f]]
+                for port in targets:
+                    if (port is not None and port != LOCAL
+                            and self._gated[node * NUM_PORTS + port]):
+                        self.wake_request(node, port)
+            promoted.append(f)
+        return promoted
+
+    # ------------------------------------------------------------------
+    # phase 5: flit delivery
+    # ------------------------------------------------------------------
+    def _phase_links_active(self, now: int) -> None:
+        flit_links = self._active_flit_links
+        for key in flit_links.sorted():
+            link = self.links_out[key[0]][key[1]]
+            dst = link.dst
+            dst_port = link.dst_port
+            for word, pkt, vc in link.flits.receive(now):
+                self._deliver_arrival(dst, dst_port, vc, word, pkt)
+            if link.flits.empty:
+                flit_links.discard(key)
+        inject = self._active_inject
+        for node in inject.sorted():
+            line = self.inject_lines[node]
+            for flit, vc in line.receive(now):
+                self._deliver_inject(node, vc, flit)
+            if line.empty:
+                inject.discard(node)
+        eject = self._active_eject
+        for node in eject.sorted():
+            line = self.eject_lines[node]
+            for word, pkt, vc in line.receive(now):
+                self._deliver_eject_word(node, vc, word, pkt, now)
+            if line.empty:
+                eject.discard(node)
+
+    _phase_links_full = _phase_links_active
+
+    def _deliver_arrival(self, node: int, in_port: int, vc: int, word: int,
+                         pkt: Packet) -> None:
+        ni = self.nis[node]
+        ring = self.ring
+        router_on = self.controllers[node].state == PowerState.ON
+        if (ring is not None and in_port == ring.inport[node]
+                and (not router_on or vc in ni.lingering)):
+            ni.latch_write(vc, _make_flit(word, pkt))
+            return
+        if not router_on:
+            raise RuntimeError(
+                f"flit delivered to off router {node} port {in_port}: "
+                "power-gating handshake violated")
+        self._deliver_word(node, in_port, vc, word, pkt)
+
+    def _deliver_inject(self, node: int, vc: int, flit: Flit) -> None:
+        if self.controllers[node].state != PowerState.ON:
+            raise RuntimeError(
+                f"injected flit delivered to off router {node}")
+        self._deliver_word(node, LOCAL, vc, _word_of(flit), flit.packet)
+
+    def _deliver_eject_word(self, node: int, vc: int, word: int,
+                            pkt: Packet, now: int) -> None:
+        self.nis[node].n_ejected_flits += 1
+        if word & 2:
+            self._owner[node * NUM_PORTS + LOCAL][vc] = None
+        self._sink_word(node, word, pkt, now)
+
+    # ------------------------------------------------------------------
+    # power-gating support (flat implementations of the router hooks)
+    # ------------------------------------------------------------------
+    def _reset_vcs_routed_to(self, node: int, out_port: int) -> None:
+        v_per = self._V
+        base_f = node * self._fpn
+        st = self._st
+        for p in range(NUM_PORTS):
+            for v in range(v_per):
+                f = base_f + p * v_per + v
+                s = st[f]
+                if s == _WAITING_VA:
+                    if (out_port in self._aports[f]
+                            or self._eport[f] == out_port):
+                        self._reset_route(f, node)
+                elif (s == _ACTIVE and self._route[f] == out_port
+                        and self._fsent[f] == 0):
+                    self._owner[node * NUM_PORTS + out_port][
+                        self._outvc[f]] = None
+                    self._reset_route(f, node)
+
+    def _has_commitment_to(self, node: int, out_port: int,
+                           early: bool) -> bool:
+        v_per = self._V
+        base_f = node * self._fpn
+        st = self._st
+        for p in range(NUM_PORTS):
+            for v in range(v_per):
+                f = base_f + p * v_per + v
+                s = st[f]
+                if s == _ACTIVE and self._route[f] == out_port:
+                    if self._fifo[f] or self._fsent[f] > 0:
+                        return True
+                    if early:
+                        return True
+                elif early and s == _WAITING_VA:
+                    first = (self._aports[f][0] if self._aports[f]
+                             else self._eport[f])
+                    if first == out_port:
+                        return True
+        return False
+
+    def _restore_pred_credit(self, node: int, vc: int) -> None:
+        ring = self.ring
+        pred = ring.predecessor[node]
+        pred_port = ring.outport[pred]
+        c = (pred * NUM_PORTS + pred_port) * self._V + vc
+        depth = self.cfg.noc.buffer_depth
+        link = self.links_out[pred][pred_port]
+        in_flight = sum(1 for w, pk, v2 in link.flits.peek_pending()
+                        if v2 == vc)
+        credits_in_flight = sum(1 for v2 in link.credits.peek_pending()
+                                if v2 == vc)
+        buffered = len(self._fifo[(node * NUM_PORTS
+                                   + ring.inport[node]) * self._V + vc])
+        latched = len(self.nis[node].latch[vc])
+        self._maxc[c] = depth
+        value = depth - in_flight - credits_in_flight - buffered - latched
+        self._credit[c] = value
+        self._credit_np[c] = value
+        if value < 0:
+            raise RuntimeError("negative credits after power transition")
+
+    # ------------------------------------------------------------------
+    # diagnostics
+    # ------------------------------------------------------------------
+    def hang_diagnostics(self, now: int, kind: str) -> Dict:
+        routers = []
+        v_per = self._V
+        for node in range(self.mesh.num_nodes):
+            buffered = 0
+            stuck_vcs: List[List[int]] = []
+            base_f = node * self._fpn
+            for p in range(NUM_PORTS):
+                for v in range(v_per):
+                    n_flits = len(self._fifo[base_f + p * v_per + v])
+                    if n_flits:
+                        buffered += n_flits
+                        stuck_vcs.append([p, v])
+            latched = sum(len(q) for q in self.nis[node].latch)
+            queued = len(self.nis[node].inject_queue)
+            if buffered or latched or queued:
+                state = self.controllers[node].state
+                routers.append({
+                    "node": node,
+                    "state": PowerState.NAMES.get(state, str(state)),
+                    "buffered": buffered,
+                    "latched": latched,
+                    "queued": queued,
+                    "stuck_vcs": stuck_vcs,
+                })
+        limit = (self.deadlock_limit if kind == "deadlock"
+                 else self.livelock_limit)
+        return {
+            "kind": kind,
+            "design": self.cfg.design,
+            "cycle": now,
+            "outstanding_flits": self._outstanding,
+            "limit": limit,
+            "routers": routers,
+        }

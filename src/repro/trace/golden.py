@@ -1,8 +1,9 @@
 """Golden-trace regression harness.
 
-Eight pinned scenarios - every design (``No_PG``, ``Conv_PG``,
-``Conv_PG_OPT``, ``NoRD``) crossed with uniform and tornado traffic on
-the 4x4 mesh - each produce a deterministic event-stream digest
+Sixteen pinned scenarios - every design (``No_PG``, ``Conv_PG``,
+``Conv_PG_OPT``, ``NoRD``) crossed with uniform, tornado, transpose and
+hotspot traffic on the 4x4 mesh - each produce a deterministic
+event-stream digest
 (per-kind counts + a SHA-256 over the canonical, pid-normalized event
 stream).  The digests are committed under ``tests/goldens/`` and diffed
 in CI: *any* behavioural drift in the pipeline, the bypass datapath or
@@ -45,7 +46,7 @@ RATE = 0.1
 SEED = 3
 WARMUP = 100
 MEASURE = 600
-TRAFFICS = ("uniform", "tornado")
+TRAFFICS = ("uniform", "tornado", "transpose", "hotspot")
 
 #: Fields compared between a fresh digest and its fixture.
 _COMPARED = ("events", "recorded", "dropped", "counts", "sha256")
@@ -56,7 +57,7 @@ def scenario_name(design: str, kind: str) -> str:
 
 
 def scenarios() -> List[Tuple[str, str, str]]:
-    """``(name, design, traffic kind)`` for all eight pinned scenarios."""
+    """``(name, design, traffic kind)`` for all pinned scenarios."""
     return [(scenario_name(design, kind), design, kind)
             for design in Design.ALL for kind in TRAFFICS]
 

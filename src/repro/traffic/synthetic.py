@@ -116,3 +116,30 @@ def bit_complement(mesh: Mesh, rate: float, seed: int = 1) -> SyntheticTraffic:
 def tornado(mesh: Mesh, rate: float, seed: int = 1) -> SyntheticTraffic:
     """Tornado traffic at ``rate`` flits/node/cycle."""
     return SyntheticTraffic(mesh.num_nodes, rate, tornado_pattern(mesh), seed)
+
+
+def transpose(mesh: Mesh, rate: float, seed: int = 1) -> SyntheticTraffic:
+    """Transpose traffic at ``rate`` flits/node/cycle (square mesh only)."""
+    return SyntheticTraffic(mesh.num_nodes, rate, transpose_pattern(mesh),
+                            seed)
+
+
+def hotspot(mesh: Mesh, rate: float, seed: int = 1,
+            hotspots: Iterable[int] = (),
+            fraction: float = 0.2) -> SyntheticTraffic:
+    """Hotspot traffic at ``rate`` flits/node/cycle.
+
+    With probability ``fraction`` a packet targets a random node from
+    ``hotspots`` (default: the mesh center), otherwise uniform random.
+    The pattern draws from the generator's own RNG so that a given
+    ``(rate, seed)`` pair yields one deterministic arrival stream.
+    """
+    gen = SyntheticTraffic(mesh.num_nodes, rate, lambda s: s, seed)
+    spots = [n for n in hotspots]
+    if not spots:
+        spots = [mesh.node(mesh.width // 2, mesh.height // 2)]
+    for n in spots:
+        if not 0 <= n < mesh.num_nodes:
+            raise ValueError(f"hotspot node {n} outside the mesh")
+    gen.pattern = hotspot_pattern(mesh.num_nodes, spots, fraction, gen.rng)
+    return gen

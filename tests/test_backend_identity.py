@@ -1,0 +1,238 @@
+"""Differential harness: the SoA kernel vs the object-graph reference.
+
+The backend-identity contract (DESIGN.md section 9): for every
+configuration the SoA kernel supports, ``Network(cfg, backend="soa")``
+must produce a :class:`RunResult` field-identical to the reference
+kernel and a bit-identical event stream.  These tests enforce the
+contract directly - same config, same traffic, same seed, run under
+both kernels, compared field by field (``RunResult.__eq__`` excludes
+only the host wall-clock fields) and by trace digest.
+
+Backend *selection* (explicit argument > ``REPRO_BACKEND`` > reference,
+with automatic fallback for features the SoA kernel does not serve) is
+covered here too, as is the cache-key folding in the experiments
+runner.
+"""
+
+import dataclasses
+import json
+
+import pytest
+
+from repro.config import Design, small_config
+from repro.experiments import parallel
+from repro.noc.flit import reset_packet_ids
+from repro.noc.network import BACKENDS, Network, resolve_backend
+from repro.noc.soa import SoANetwork
+from repro.trace.recorder import EventTrace
+from repro.traffic.synthetic import (hotspot, tornado, transpose,
+                                     uniform_random)
+
+TRAFFIC_MAKERS = {
+    "uniform": uniform_random,
+    "tornado": tornado,
+    "transpose": transpose,
+    "hotspot": hotspot,
+}
+
+
+def run_once(design, backend, kind="uniform", *, rate=0.1, seed=3,
+             width=4, height=4, warmup=100, measure=600,
+             speculative=False, aggressive=False, trace=False):
+    """One deterministic run; resets the global packet-id counter so
+    both backends see identical packet ids."""
+    reset_packet_ids()
+    cfg = small_config(design, width=width, height=height,
+                       warmup=warmup, measure=measure)
+    if speculative:
+        cfg = cfg.replace(noc=dataclasses.replace(cfg.noc,
+                                                  speculative=True))
+    if aggressive:
+        cfg = cfg.replace(pg=dataclasses.replace(cfg.pg,
+                                                 aggressive_bypass=True))
+    recorder = EventTrace() if trace else None
+    net = Network(cfg, backend=backend, trace=recorder)
+    traffic = TRAFFIC_MAKERS[kind](net.mesh, rate, seed=seed)
+    result = net.run(traffic)
+    return net, result, recorder
+
+
+def assert_identical(res_ref, res_soa):
+    """Field-by-field comparison with a readable failure message."""
+    if res_ref == res_soa:
+        return
+    diffs = []
+    for fld in res_ref.__dataclass_fields__:
+        a, b = getattr(res_ref, fld), getattr(res_soa, fld)
+        if a != b:
+            diffs.append(f"{fld}: ref={a!r} soa={b!r}")
+    raise AssertionError("backend drift:\n" + "\n".join(diffs))
+
+
+class TestRunResultIdentity:
+    @pytest.mark.parametrize("design", Design.ALL)
+    @pytest.mark.parametrize("kind", sorted(TRAFFIC_MAKERS))
+    def test_field_identical_runresults(self, design, kind):
+        net_ref, res_ref, _ = run_once(design, "ref", kind)
+        net_soa, res_soa, _ = run_once(design, "soa", kind)
+        assert type(net_ref) is Network
+        assert isinstance(net_soa, SoANetwork)
+        assert_identical(res_ref, res_soa)
+
+    @pytest.mark.parametrize("design", Design.ALL)
+    def test_speculative_pipeline_identity(self, design):
+        _, res_ref, _ = run_once(design, "ref", speculative=True)
+        _, res_soa, _ = run_once(design, "soa", speculative=True)
+        assert_identical(res_ref, res_soa)
+
+    def test_aggressive_bypass_identity(self):
+        _, res_ref, _ = run_once(Design.NORD, "ref", aggressive=True)
+        _, res_soa, _ = run_once(Design.NORD, "soa", aggressive=True)
+        assert_identical(res_ref, res_soa)
+
+    def test_rectangular_mesh_identity(self):
+        # NoRD's serpentine bypass ring needs an even number of rows.
+        _, res_ref, _ = run_once(Design.NORD, "ref", width=3, height=4)
+        _, res_soa, _ = run_once(Design.NORD, "soa", width=3, height=4)
+        assert_identical(res_ref, res_soa)
+
+    @pytest.mark.parametrize("design", Design.ALL)
+    def test_trace_digest_identity(self, design):
+        """Bit-identical event streams, not just matching aggregates."""
+        _, _, trace_ref = run_once(design, "ref", trace=True)
+        _, _, trace_soa = run_once(design, "soa", trace=True)
+        assert trace_ref.digest() == trace_soa.digest()
+
+
+class TestDiscoveryPaths:
+    """The SoA kernel picks scalar vs vectorized candidate discovery by
+    busy-set occupancy; both paths must be byte-identical."""
+
+    def _forced(self, design, force):
+        class Forced(SoANetwork):
+            def _phase_routers_active(self, now):
+                saved = self._nf
+                # sparse branch iff len(busy) * 8 < _nf
+                self._nf = (8 * len(self._busy) + 1) if force == "scalar" \
+                    else 0
+                try:
+                    return SoANetwork._phase_routers_active(self, now)
+                finally:
+                    self._nf = saved
+
+        reset_packet_ids()
+        cfg = small_config(design, warmup=100, measure=600)
+        net = Forced(cfg)
+        result = net.run(uniform_random(net.mesh, 0.2, seed=3))
+        return result
+
+    @pytest.mark.parametrize("design", (Design.NO_PG, Design.NORD))
+    def test_scalar_and_vectorized_discovery_agree(self, design):
+        _, res_ref, _ = run_once(design, "ref", rate=0.2)
+        assert_identical(res_ref, self._forced(design, "scalar"))
+        assert_identical(res_ref, self._forced(design, "numpy"))
+
+
+class TestBackendSelection:
+    def test_default_is_reference(self):
+        net = Network(small_config(Design.NORD))
+        assert type(net) is Network
+        assert net.backend == "ref"
+
+    def test_explicit_soa(self):
+        net = Network(small_config(Design.NORD), backend="soa")
+        assert isinstance(net, SoANetwork)
+        assert net.backend == "soa"
+
+    def test_env_var_selects_soa(self, monkeypatch):
+        monkeypatch.setenv("REPRO_BACKEND", "soa")
+        net = Network(small_config(Design.NORD))
+        assert isinstance(net, SoANetwork)
+
+    def test_explicit_argument_beats_env(self, monkeypatch):
+        monkeypatch.setenv("REPRO_BACKEND", "soa")
+        net = Network(small_config(Design.NORD), backend="ref")
+        assert type(net) is Network
+
+    def test_unknown_backend_rejected(self):
+        with pytest.raises(ValueError, match="unknown simulation backend"):
+            Network(small_config(Design.NORD), backend="bogus")
+        with pytest.raises(ValueError, match="unknown simulation backend"):
+            resolve_backend("bogus")
+
+    def test_resolve_backend_normalizes(self, monkeypatch):
+        assert resolve_backend() == "ref"
+        assert resolve_backend("reference") == "ref"
+        assert resolve_backend(" SOA ") == "soa"
+        monkeypatch.setenv("REPRO_BACKEND", "bogus")
+        with pytest.raises(ValueError):
+            resolve_backend()
+        assert set(BACKENDS) == {"ref", "soa"}
+
+    def test_fault_plan_falls_back_to_reference(self):
+        from repro.faults import FaultPlan
+        net = Network(small_config(Design.NORD), backend="soa",
+                      fault_plan=FaultPlan())
+        assert type(net) is Network
+
+    def test_metrics_fall_back_to_reference(self):
+        from repro.metrics.sampler import MetricsRun
+        net = Network(small_config(Design.NORD), backend="soa",
+                      metrics=MetricsRun())
+        assert type(net) is Network
+
+    def test_dense_scan_falls_back_to_reference(self, monkeypatch):
+        net = Network(small_config(Design.NORD), backend="soa",
+                      skip_inactive=False)
+        assert type(net) is Network
+        monkeypatch.setenv("REPRO_NO_SKIP", "1")
+        net = Network(small_config(Design.NORD), backend="soa")
+        assert type(net) is Network
+
+    def test_empty_faultplan_env_falls_back(self, monkeypatch):
+        monkeypatch.setenv("REPRO_EMPTY_FAULTPLAN", "1")
+        net = Network(small_config(Design.NORD), backend="soa")
+        assert type(net) is Network
+
+    def test_soa_constructed_directly_rejects_faults(self):
+        from repro.faults import FaultPlan
+        with pytest.raises(ValueError, match="fault injection"):
+            SoANetwork(small_config(Design.NORD), fault_plan=FaultPlan())
+
+
+class TestCacheKeys:
+    def _point(self, backend=None):
+        return parallel.DesignPoint(
+            cfg=small_config(Design.NORD),
+            traffic=parallel.uniform_spec(0.1),
+            backend=backend)
+
+    def test_backend_enters_cache_key(self):
+        assert self._point("ref").cache_key() != \
+            self._point("soa").cache_key()
+
+    def test_default_backend_follows_env(self, monkeypatch):
+        default_key = self._point().cache_key()
+        assert default_key == self._point("ref").cache_key()
+        monkeypatch.setenv("REPRO_BACKEND", "soa")
+        assert self._point().cache_key() == \
+            self._point("soa").cache_key()
+
+    def test_unknown_backend_rejected_at_point_construction(self):
+        with pytest.raises(ValueError):
+            self._point("bogus")
+
+    def test_bufferless_always_resolves_ref(self, monkeypatch):
+        monkeypatch.setenv("REPRO_BACKEND", "soa")
+        point = parallel.DesignPoint(
+            cfg=small_config(Design.NORD),
+            traffic=parallel.uniform_spec(0.1),
+            network=parallel.BUFFERLESS_NETWORK)
+        assert point.resolved_backend() == "ref"
+
+    def test_execute_point_honors_backend(self):
+        reset_packet_ids()
+        res_soa, _ = parallel.execute_point(self._point("soa"))
+        reset_packet_ids()
+        res_ref, _ = parallel.execute_point(self._point("ref"))
+        assert_identical(res_ref, res_soa)

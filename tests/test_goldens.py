@@ -1,10 +1,12 @@
 """Golden-trace digest regression.
 
-Recomputes the eight pinned scenario digests (every design x
-uniform/tornado on the 4x4 mesh) and diffs them against the committed
-fixtures under ``tests/goldens/``.  Any behavioural drift in the router
-pipeline, the NI bypass datapath or the power-gate FSM changes at least
-one event stream and therefore at least one digest.
+Recomputes the sixteen pinned scenario digests (every design x
+uniform/tornado/transpose/hotspot on the 4x4 mesh) and diffs them
+against the committed fixtures under ``tests/goldens/``.  Any
+behavioural drift in the router pipeline, the NI bypass datapath or the
+power-gate FSM changes at least one event stream and therefore at least
+one digest.  The fixtures double as the backend-identity oracle: the
+struct-of-arrays kernel must reproduce every digest bit for bit.
 
 Intentional behaviour changes: regenerate with either
 
@@ -21,12 +23,12 @@ import pytest
 from repro.trace import golden
 
 
-def test_scenarios_cover_all_designs_and_both_traffics():
+def test_scenarios_cover_all_designs_and_traffics():
     names = [name for name, _, _ in golden.scenarios()]
-    assert len(names) == 8
-    assert len(set(names)) == 8
+    assert len(names) == 16
+    assert len(set(names)) == 16
     assert {kind for _, _, kind in golden.scenarios()} == \
-        {"uniform", "tornado"}
+        {"uniform", "tornado", "transpose", "hotspot"}
     from repro.config import Design
     assert {design for _, design, _ in golden.scenarios()} == set(Design.ALL)
 
@@ -47,7 +49,17 @@ def test_fixtures_exist_and_are_well_formed():
 def test_golden_digests_match_fixtures(request):
     if request.config.getoption("--update-goldens"):
         names = golden.update()
-        assert len(names) == 8
+        assert len(names) == 16
         pytest.skip("fixtures regenerated; re-run without --update-goldens")
     problems = golden.check()
     assert not problems, "golden-trace drift:\n" + "\n".join(problems)
+
+
+def test_soa_backend_matches_fixtures(monkeypatch):
+    """The struct-of-arrays kernel must hit the same committed digests
+    as the reference kernel - the strongest byte-identity check we
+    have, since the fixtures pin the full pid-normalized event
+    stream."""
+    monkeypatch.setenv("REPRO_BACKEND", "soa")
+    problems = golden.check()
+    assert not problems, "soa backend drift:\n" + "\n".join(problems)

@@ -150,3 +150,71 @@ class TestOptimizedVariants:
         assert net.outstanding_flits == 0
         if result.packets_measured:
             assert result.avg_packet_latency >= 2.0
+
+
+class TestBackendDifferential:
+    """Differential property: the SoA kernel must be field-identical to
+    the reference on random (design, traffic kind, rate, mesh, seed)
+    draws — the hypothesis arm of tests/test_backend_identity.py."""
+
+    kinds = st.sampled_from(["uniform", "tornado", "transpose", "hotspot"])
+
+    @staticmethod
+    def _run_backend(backend, design, kind, rate, wh, seed, *,
+                     speculative=False):
+        from repro.noc.flit import reset_packet_ids
+        from repro.traffic import synthetic
+
+        reset_packet_ids()
+        cfg = SimConfig(
+            design=design,
+            noc=NoCConfig(width=wh[0], height=wh[1],
+                          speculative=speculative),
+            warmup_cycles=0,
+            measure_cycles=400,
+            drain_cycles=4000,
+            seed=seed,
+        )
+        net = Network(cfg, backend=backend)
+        maker = getattr(synthetic, kind if kind != "uniform"
+                        else "uniform_random")
+        traffic = maker(net.mesh, rate, seed=seed)
+        result = net.run(traffic, warmup=0, measure=400, drain=4000)
+        return net, result
+
+    @given(designs, kinds, rates, sizes, seeds)
+    @SIM_SETTINGS
+    def test_backends_field_identical(self, design, kind, rate, wh, seed):
+        if kind == "transpose":
+            wh = (4, 4)  # transpose is defined on square meshes only
+        _, res_ref = self._run_backend("ref", design, kind, rate, wh, seed)
+        net, res_soa = self._run_backend("soa", design, kind, rate, wh,
+                                         seed)
+        from repro.noc.soa import SoANetwork
+        assert isinstance(net, SoANetwork)
+        assert res_ref == res_soa
+
+    @given(designs, rates, seeds)
+    @SIM_SETTINGS
+    def test_backends_identical_speculative(self, design, rate, seed):
+        _, res_ref = self._run_backend("ref", design, "uniform", rate,
+                                       (4, 4), seed, speculative=True)
+        _, res_soa = self._run_backend("soa", design, "uniform", rate,
+                                       (4, 4), seed, speculative=True)
+        assert res_ref == res_soa
+
+    @given(designs, rates, sizes, seeds)
+    @SIM_SETTINGS
+    def test_soa_conserves_flits(self, design, rate, wh, seed):
+        """The conservation invariants hold under the SoA kernel too."""
+        net, result = self._run_backend("soa", design, "uniform", rate,
+                                        wh, seed)
+        assert net.outstanding_flits == 0
+        assert result.packets_ejected == net.stats.packets_ejected
+        for node in range(net.mesh.num_nodes):
+            base = node * net._fpn
+            for off in range(net._fpn):
+                assert net._st[base + off] == 0
+                assert not net._fifo[base + off]
+        for o in range(net.mesh.num_nodes * 5):
+            assert all(owner is None for owner in net._owner[o])
