@@ -107,6 +107,22 @@ def _add_common(parser: argparse.ArgumentParser) -> None:
     metrics.add_argument("--metrics-html", action="store_true",
                          help="also build the single-file HTML report "
                               "(implies --metrics)")
+    crash = parser.add_argument_group("crash safety")
+    crash.add_argument("--checkpoint-interval", type=_positive_int,
+                       default=None, metavar="N",
+                       help="persist a mid-run checkpoint every N cycles "
+                            "so killed/timed-out runs resume instead of "
+                            "restarting (default: off, zero overhead)")
+    crash.add_argument("--checkpoint-dir", default="checkpoints",
+                       metavar="DIR",
+                       help="directory for checkpoint files "
+                            "(default: ./checkpoints)")
+    crash.add_argument("--journal", default=None, metavar="PATH",
+                       help="write-ahead sweep journal (fsync-per-record "
+                            "JSONL); required for --resume")
+    crash.add_argument("--resume", action="store_true",
+                       help="skip points already recorded done in the "
+                            "--journal and re-run only the rest")
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -204,6 +220,40 @@ def _metrics_finish(spec, html: bool) -> None:
         print(f"[metrics] report: {out}")
 
 
+def _configure_crash_safety(parser: argparse.ArgumentParser,
+                            args: argparse.Namespace) -> None:
+    """Wire the ``--checkpoint-*`` / ``--journal`` / ``--resume`` flags
+    into the process-wide runner (no-ops when all are absent)."""
+    if args.resume and args.journal is None:
+        parser.error("--resume requires --journal")
+    checkpoint = None
+    if args.checkpoint_interval is not None:
+        from .checkpoint import CheckpointSpec
+        checkpoint = CheckpointSpec(directory=args.checkpoint_dir,
+                                    interval=args.checkpoint_interval)
+    if checkpoint is not None or args.journal is not None or args.resume:
+        from pathlib import Path
+        parallel.configure(
+            checkpoint=checkpoint,
+            journal_path=Path(args.journal) if args.journal else None,
+            resume=args.resume or None)
+
+
+def _resume_hint(exc, argv: Optional[List[str]]) -> int:
+    """Report an interrupted sweep and how to pick it back up."""
+    words = list(argv if argv is not None else sys.argv[1:])
+    if "--resume" not in words:
+        words.append("--resume")
+    diag = exc.diagnostics
+    done, total = diag.get("completed"), diag.get("total")
+    progress = f" after {done}/{total} points" if done is not None else ""
+    print(f"\n[interrupted] sweep stopped{progress}; journal: "
+          f"{diag.get('journal', '?')}", file=sys.stderr)
+    print("[interrupted] resume with: nord " + " ".join(words),
+          file=sys.stderr)
+    return 130
+
+
 def _timing_line(result) -> str:
     """Host-timing footer for one run (contains " took " so the CI
     byte-identity diffs drop it alongside the other wall-clock lines)."""
@@ -293,7 +343,8 @@ def _simulate(args: argparse.Namespace) -> None:
 
 
 def main(argv: Optional[List[str]] = None) -> int:
-    args = build_parser().parse_args(argv)
+    parser = build_parser()
+    args = parser.parse_args(argv)
     if getattr(args, "backend", None) is not None:
         # Propagate through the environment so worker processes and
         # every DesignPoint resolve the same kernel (and cache keys
@@ -306,6 +357,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         return 0
     if getattr(args, "profile", False):
         activity.enable_profiling()
+    _configure_crash_safety(parser, args)
     trace_spec = _trace_spec(args)
     if trace_spec is not None:
         parallel.configure(trace=trace_spec)
@@ -315,22 +367,29 @@ def main(argv: Optional[List[str]] = None) -> int:
         metrics_spec = _metrics_spec(args)
         if metrics_spec is not None:
             parallel.configure(metrics=metrics_spec)
-    if args.command == "run-all":
-        run_all(args.scale, args.seed, jobs=args.jobs,
-                use_cache=not args.no_cache, timeout=args.timeout,
-                retries=args.retries, partial=args.partial)
-        _trace_summary(trace_spec)
-        _metrics_finish(metrics_spec, args.metrics_html)
-        return 0
-    if args.command == "simulate":
-        _simulate(args)
-        if activity.profiling_enabled():
-            print(activity.global_profile().summary())
-        return 0
-    parallel.configure(jobs=args.jobs, use_cache=not args.no_cache,
-                       timeout=args.timeout, retries=args.retries,
-                       partial=args.partial)
-    print(run_experiment(args.command, args.scale, args.seed))
+    from .errors import SweepInterrupted
+    try:
+        if args.command == "run-all":
+            run_all(args.scale, args.seed, jobs=args.jobs,
+                    use_cache=not args.no_cache, timeout=args.timeout,
+                    retries=args.retries, partial=args.partial)
+            _trace_summary(trace_spec)
+            _metrics_finish(metrics_spec, args.metrics_html)
+            return 0
+        if args.command == "simulate":
+            _simulate(args)
+            if activity.profiling_enabled():
+                print(activity.global_profile().summary())
+            return 0
+        parallel.configure(jobs=args.jobs, use_cache=not args.no_cache,
+                           timeout=args.timeout, retries=args.retries,
+                           partial=args.partial)
+        print(run_experiment(args.command, args.scale, args.seed))
+    except SweepInterrupted as exc:
+        # The runner already flushed the journal and partial results;
+        # tell the user how to pick the sweep back up and exit 130 like
+        # an uncaught SIGINT would.
+        return _resume_hint(exc, argv)
     if activity.profiling_enabled():
         print(activity.global_profile().summary())
     _trace_summary(trace_spec)

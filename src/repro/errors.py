@@ -85,3 +85,13 @@ class LivelockError(SimulationHang):
 
 class RunTimeout(SimulationError):
     """A design-point run exceeded the harness wall-clock budget."""
+
+
+class SweepInterrupted(SimulationError):
+    """A sweep was stopped by SIGINT/SIGTERM before completing.
+
+    Raised by the sweep runner after it has flushed the journal and
+    partial results; ``diagnostics`` carries what the CLI needs to print
+    a copy-pasteable resume command (``journal`` path, ``completed`` /
+    ``total`` point counts).
+    """

@@ -29,24 +29,30 @@ deserializes to a value equal to what a fresh run would compute.
 
 from __future__ import annotations
 
+import hashlib
 import json
-import multiprocessing
 import os
+import pickle
+import random
 import signal
 import tempfile
+import threading
 import time
-from concurrent.futures import ProcessPoolExecutor
-from concurrent.futures import TimeoutError as FutureTimeout
+import warnings
 from dataclasses import dataclass, field, replace
 from pathlib import Path
 from typing import (Any, Callable, Dict, List, Optional, Sequence, Tuple)
 
+from ..checkpoint import (CheckpointSpec, SimCheckpoint, CHECKPOINT_FORMAT,
+                          checkpoint_path, discard_checkpoint,
+                          load_checkpoint, save_checkpoint)
 from ..config import SimConfig, stable_hash
 from ..errors import (DeadlockError, LivelockError, RunTimeout,
-                      SimulationHang)
+                      SimulationHang, SweepInterrupted)
 from ..faults import FaultPlan
 from ..metrics.sampler import MetricsSpec, export_metrics
-from ..noc.network import Network
+from .journal import SweepJournal, completed_outcomes, load_journal
+from ..noc.network import Network, RunProgress
 from ..power.model import EnergyReport, PowerModel
 from ..stats.collector import RunResult
 from ..trace.recorder import TraceSpec, export_trace
@@ -59,7 +65,8 @@ from ..traffic.synthetic import (bit_complement, hotspot, tornado,
 #: 2: design points gained a ``faults`` field (fault-injection plans).
 #: 3: cache keys fold in the resolved simulation backend (ref vs soa)
 #:    and ``TrafficSpec`` gained hotspot parameters.
-CACHE_FORMAT = 3
+#: 4: entries carry a SHA-256 content checksum, verified on read.
+CACHE_FORMAT = 4
 
 #: ``DesignPoint.network`` value selecting the bufferless datapath
 #: (Section 6.8 discussion) instead of the standard ``Network``.
@@ -194,6 +201,12 @@ class DesignPoint:
     #: result-identical, but keying them separately keeps a drifting
     #: backend from silently poisoning the shared cache.
     backend: Optional[str] = None
+    #: Optional periodic checkpointing (:mod:`repro.checkpoint`).
+    #: Excluded from :meth:`cache_key` - a checkpointed run's result is
+    #: byte-identical to an uncheckpointed one - and, unlike trace or
+    #: metrics, checkpointed points still take the cache *read* path:
+    #: a hit simply means there is nothing left to checkpoint.
+    checkpoint: Optional[CheckpointSpec] = None
 
     def __post_init__(self) -> None:
         if self.prepare is not None and self.prepare not in PREPARE_HOOKS:
@@ -281,7 +294,7 @@ def execute_point(point: DesignPoint) -> SweepOutcome:
     metrics = None
     if point.network == BUFFERLESS_NETWORK:
         # The bufferless datapath is not instrumented; runner-wide
-        # trace/metrics requests simply do not apply to it.
+        # trace/metrics (and checkpoint) requests do not apply to it.
         from ..noc.bufferless import BufferlessNetwork
         net = BufferlessNetwork(cfg)
     else:
@@ -291,15 +304,19 @@ def execute_point(point: DesignPoint) -> SweepOutcome:
             metrics = point.metrics.build()
         net = Network(cfg, fault_plan=point.faults, trace=trace,
                       metrics=metrics, backend=point.backend)
-    if point.prepare is not None:
-        PREPARE_HOOKS[point.prepare](net)
-    traffic = point.traffic.build(net.mesh)
-    t0 = time.perf_counter()
-    result = net.run(traffic)
-    elapsed = time.perf_counter() - t0
-    result.wall_clock_s = elapsed
-    if elapsed > 0:
-        result.simulated_cycles_per_sec = net.now / elapsed
+    if point.checkpoint is not None and point.network != BUFFERLESS_NETWORK:
+        result, net = _run_checkpointed(point, net)
+        trace, metrics = net.trace, net.metrics
+    else:
+        if point.prepare is not None:
+            PREPARE_HOOKS[point.prepare](net)
+        traffic = point.traffic.build(net.mesh)
+        t0 = time.perf_counter()
+        result = net.run(traffic)
+        elapsed = time.perf_counter() - t0
+        result.wall_clock_s = elapsed
+        if elapsed > 0:
+            result.simulated_cycles_per_sec = net.now / elapsed
     report = PowerModel(cfg).evaluate(result)
     if trace is not None:
         export_trace(trace, point.trace, trace_basename(point))
@@ -307,6 +324,63 @@ def execute_point(point: DesignPoint) -> SweepOutcome:
         export_metrics(metrics, point.metrics, metrics_basename(point),
                        net, traffic=point.traffic.to_key())
     return result, report
+
+
+def _run_checkpointed(point: DesignPoint, net: Network):
+    """Run a point with periodic checkpoints, resuming any prior one.
+
+    Returns ``(result, net)`` - ``net`` may be a *restored* network (the
+    one handed in is discarded), so the caller must export trace/metrics
+    artifacts from the returned object.  The checkpoint file is removed
+    on success; on a crash/timeout it stays behind, and the next attempt
+    of the same point (same cache key and code fingerprint) resumes from
+    it instead of restarting at cycle 0.
+    """
+    spec = point.checkpoint
+    key = point.cache_key()
+    path = checkpoint_path(spec, point_basename(point))
+    cfg = point.cfg
+    progress = RunProgress(cfg.warmup_cycles, cfg.measure_cycles,
+                           cfg.drain_cycles)
+    prior_wall = 0.0
+    ckpt = load_checkpoint(path, key=key, code=code_version())
+    if ckpt is not None:
+        net = Network.restore(ckpt.snapshot)
+        traffic = pickle.loads(ckpt.traffic_blob)
+        progress = ckpt.progress
+        prior_wall = ckpt.wall_clock_s
+    else:
+        # The prepare hook mutates the fresh network; its effects live in
+        # the snapshot afterwards, so it is *not* re-applied on resume.
+        if point.prepare is not None:
+            PREPARE_HOOKS[point.prepare](net)
+        traffic = point.traffic.build(net.mesh)
+    t0 = time.perf_counter()
+    last_saved = [progress.total_cycles_done]
+
+    def on_cycle(n: Network, prog: RunProgress) -> None:
+        if prog.total_cycles_done - last_saved[0] < spec.interval:
+            return
+        last_saved[0] = prog.total_cycles_done
+        save_checkpoint(path, SimCheckpoint(
+            version=CHECKPOINT_FORMAT,
+            key=key,
+            code=code_version(),
+            cycle=n.now,
+            wall_clock_s=prior_wall + (time.perf_counter() - t0),
+            snapshot=n.snapshot(),
+            progress=prog,
+            traffic_blob=pickle.dumps(traffic,
+                                      protocol=pickle.HIGHEST_PROTOCOL),
+        ))
+
+    result = net.run_segment(traffic, progress, on_cycle=on_cycle)
+    elapsed = prior_wall + (time.perf_counter() - t0)
+    result.wall_clock_s = elapsed
+    if elapsed > 0:
+        result.simulated_cycles_per_sec = net.now / elapsed
+    discard_checkpoint(path)
+    return result, net
 
 
 # ---------------------------------------------------------------------------
@@ -322,18 +396,71 @@ GuardedOutcome = Tuple[Any, ...]
 RETRYABLE_KINDS = frozenset({"hang", "timeout", "crash"})
 
 
+class _WatchdogTimeout(RunTimeout):
+    """Raised asynchronously by the watchdog thread; needs a no-arg
+    constructor because ``PyThreadState_SetAsyncExc`` instantiates the
+    class at the raise point."""
+
+    def __init__(self, message: str = "run exceeded the wall-clock "
+                 "timeout (watchdog)", diagnostics=None) -> None:
+        super().__init__(message, diagnostics)
+
+
+class _Watchdog:
+    """Thread-based timeout for contexts where ``SIGALRM`` cannot fire
+    (non-main thread, platforms without it).  Injects
+    :class:`_WatchdogTimeout` into the guarded thread via
+    ``PyThreadState_SetAsyncExc``; the exception lands at the next
+    bytecode boundary - fine for the pure-Python simulation loop."""
+
+    def __init__(self, target_tid: int, timeout: float) -> None:
+        self._tid = target_tid
+        self._timeout = timeout
+        self._cancel = threading.Event()
+        self._fired = False
+        self._thread = threading.Thread(target=self._main, daemon=True)
+
+    def start(self) -> None:
+        self._thread.start()
+
+    def _main(self) -> None:
+        if self._cancel.wait(self._timeout):
+            return
+        import ctypes
+        self._fired = True
+        ctypes.pythonapi.PyThreadState_SetAsyncExc(
+            ctypes.c_ulong(self._tid), ctypes.py_object(_WatchdogTimeout))
+
+    def cancel(self) -> None:
+        self._cancel.set()
+        self._thread.join()
+        if self._fired:
+            # The run may have finished between the injection and this
+            # cancel; clear any still-pending async exception so it
+            # cannot pop at an arbitrary later point in the thread.
+            import ctypes
+            ctypes.pythonapi.PyThreadState_SetAsyncExc(
+                ctypes.c_ulong(self._tid), None)
+
+
+_watchdog_warned = False
+
+
 def _guarded_execute(point: DesignPoint,
                      timeout: Optional[float]) -> GuardedOutcome:
     """Run ``execute_point`` under a wall-clock alarm, catching failures.
 
     Runs in the worker process (or in-process for ``jobs=1``).  Returns
     a tagged tuple instead of raising so one bad run cannot poison a
-    ``Pool.map`` batch.  ``SIGALRM`` interrupts runs that exceed
-    ``timeout`` seconds; on platforms without it the caller's outer
-    guard is the only backstop.
+    worker batch.  ``SIGALRM`` interrupts runs that exceed ``timeout``
+    seconds; where it cannot fire (non-main thread, Windows) a watchdog
+    thread enforces the same budget - with a one-time warning - instead
+    of the old behaviour of silently dropping the timeout.
     """
-    use_alarm = timeout is not None and hasattr(signal, "SIGALRM")
+    use_alarm = (timeout is not None and hasattr(signal, "SIGALRM")
+                 and threading.current_thread() is threading.main_thread())
     old_handler = None
+    watchdog = None
     if use_alarm:
         def _on_alarm(signum, frame):
             raise RunTimeout(
@@ -341,8 +468,23 @@ def _guarded_execute(point: DesignPoint,
 
         old_handler = signal.signal(signal.SIGALRM, _on_alarm)
         signal.setitimer(signal.ITIMER_REAL, timeout)
+    elif timeout is not None:
+        global _watchdog_warned
+        if not _watchdog_warned:
+            _watchdog_warned = True
+            warnings.warn(
+                "SIGALRM is unavailable here (non-main thread or "
+                "unsupported platform); enforcing --timeout with a "
+                "watchdog thread instead", RuntimeWarning, stacklevel=2)
+        watchdog = _Watchdog(threading.get_ident(), timeout)
+        watchdog.start()
     try:
         return ("ok", execute_point(point))
+    except SweepInterrupted:
+        # SIGINT/SIGTERM landing mid-run: not a failure of this point -
+        # the runner's interrupt path (journal flush, resume hint) owns
+        # it, so it must not be contained here.
+        raise
     except SimulationHang as exc:
         return ("hang", str(exc), exc.diagnostics)
     except RunTimeout as exc:
@@ -353,6 +495,8 @@ def _guarded_execute(point: DesignPoint,
         if use_alarm:
             signal.setitimer(signal.ITIMER_REAL, 0)
             signal.signal(signal.SIGALRM, old_handler)
+        if watchdog is not None:
+            watchdog.cancel()
 
 
 @dataclass
@@ -423,6 +567,18 @@ def default_cache_dir() -> Path:
     return base / "repro"
 
 
+def _content_checksum(data: Dict[str, Any]) -> str:
+    """SHA-256 over the canonical JSON of an entry's result payload.
+
+    Only the simulation content (``result`` + ``energy``) is covered, so
+    the checksum commits to exactly the values ``get`` will hand back.
+    """
+    blob = json.dumps({"result": data.get("result"),
+                       "energy": data.get("energy")},
+                      sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(blob.encode("utf-8")).hexdigest()
+
+
 class ResultCache:
     """Content-addressed store of ``(RunResult, EnergyReport)`` pairs.
 
@@ -464,6 +620,10 @@ class ResultCache:
             return self._quarantine(path)
         if data.get("format") != CACHE_FORMAT:
             return None  # stale format: an honest miss, not corruption
+        if data.get("sha256") != _content_checksum(data):
+            # Parses as JSON but the values are not what was written -
+            # silent truncation/bit-rot that unpickling alone misses.
+            return self._quarantine(path)
         try:
             return (RunResult.from_dict(data["result"]),
                     EnergyReport.from_dict(data["energy"]))
@@ -487,6 +647,7 @@ class ResultCache:
             "result": result.to_dict(),
             "energy": energy.to_dict(),
         }
+        payload["sha256"] = _content_checksum(payload)
         directory = self.directory
         directory.mkdir(parents=True, exist_ok=True)
         blob = json.dumps(payload, sort_keys=True, separators=(",", ":"))
@@ -526,6 +687,8 @@ class SweepStats:
     hits: int = 0
     misses: int = 0
     executed: int = 0
+    #: Points satisfied from a ``--resume`` journal instead of running.
+    resumed: int = 0
     #: Extra execution attempts beyond the first, across all points.
     retried: int = 0
     #: Points that exhausted every attempt (partial mode only accrues
@@ -565,43 +728,79 @@ class SweepRunner:
       outer ``2 * timeout + 30`` guard on the parent side in case the
       worker itself is wedged below the Python level;
     * ``retries`` - how many extra attempts a *retryable* failure
-      (hang, timeout, worker crash) gets, with exponential backoff
-      (``retry_backoff * 2**attempt`` seconds) between rounds;
+      (hang, timeout, worker crash) gets.  Retry rounds back off with
+      *full jitter*: a uniform sleep in ``[0, min(retry_backoff *
+      2**(attempt-1), retry_backoff_max)]`` seconds, so concurrent
+      runners recovering from the same incident do not stampede in
+      lockstep and a high attempt count cannot sleep for hours;
     * ``partial`` - when ``True``, points that exhaust their attempts
       yield ``None`` in the result list and a :class:`FailedRun` in
       ``self.failures`` instead of aborting the whole sweep.
 
-    Failed runs are never written to the cache.
+    Crash safety (see :mod:`repro.checkpoint`,
+    :mod:`repro.experiments.journal`,
+    :mod:`repro.experiments.supervisor`):
+
+    * ``checkpoint`` - inherited by submitted points like ``trace``;
+      long points then persist periodic mid-run checkpoints and a
+      killed/timed-out attempt resumes instead of restarting;
+    * ``journal_path`` - write-ahead journal of every
+      queued/leased/done/failed transition, fsynced per record.  While a
+      journal is active, the first SIGINT/SIGTERM stops the sweep
+      gracefully - the journal and all partial results are already on
+      disk - and raises :class:`SweepInterrupted` for the CLI to print
+      the resume command (a second signal hard-exits);
+    * ``resume`` - satisfy points recorded ``done`` in the journal
+      without re-running them (they also backfill the result cache).
+
+    Failed runs are never written to the cache or journaled as done.
     """
 
     def __init__(self, jobs: int = 1, use_cache: bool = True,
                  cache: Optional[ResultCache] = None,
                  timeout: Optional[float] = None, retries: int = 0,
                  retry_backoff: float = 1.0,
+                 retry_backoff_max: float = 30.0,
                  partial: bool = False,
                  trace: Optional[TraceSpec] = None,
-                 metrics: Optional[MetricsSpec] = None) -> None:
+                 metrics: Optional[MetricsSpec] = None,
+                 checkpoint: Optional[CheckpointSpec] = None,
+                 journal_path: Optional[Path] = None,
+                 resume: bool = False) -> None:
         if jobs < 1:
             raise ValueError("jobs must be >= 1")
         if timeout is not None and timeout <= 0:
             raise ValueError("timeout must be positive (or None)")
         if retries < 0:
             raise ValueError("retries must be >= 0")
+        if retry_backoff_max < 0:
+            raise ValueError("retry_backoff_max must be >= 0")
         self.jobs = jobs
         self.use_cache = use_cache
         self.cache = cache if cache is not None else ResultCache()
         self.timeout = timeout
         self.retries = retries
         self.retry_backoff = retry_backoff
+        self.retry_backoff_max = retry_backoff_max
         self.partial = partial
         #: When set, every submitted point without its own trace spec
         #: inherits this one (how ``--trace`` reaches the experiments).
         self.trace = trace
         #: Same inheritance for telemetry (``--metrics``).
         self.metrics = metrics
+        #: Same inheritance for periodic checkpointing
+        #: (``--checkpoint-interval``).
+        self.checkpoint = checkpoint
+        self.journal_path = Path(journal_path) \
+            if journal_path is not None else None
+        self.resume = resume
         self.stats = SweepStats()
         #: ``FailedRun`` records accumulated in partial mode.
         self.failures: List[FailedRun] = []
+        #: The supervisor of the most recent pooled round (tests and the
+        #: chaos harness inspect its lease/requeue event log).
+        self.last_supervisor = None
+        self._journal = None
 
     def run(self,
             points: Sequence[DesignPoint]) -> List[Optional[SweepOutcome]]:
@@ -613,57 +812,117 @@ class SweepRunner:
             points = [p if p.metrics is not None
                       else replace(p, metrics=self.metrics)
                       for p in points]
+        if self.checkpoint is not None:
+            points = [p if p.checkpoint is not None
+                      else replace(p, checkpoint=self.checkpoint)
+                      for p in points]
         outcomes: List[Optional[SweepOutcome]] = [None] * len(points)
+        journaling = self.journal_path is not None
+        # Journal records and resume matching go by content key, so keys
+        # are needed whenever a journal is active, cache or not.
+        keys: List[Optional[str]] = [
+            point.cache_key() if (self.use_cache or journaling) else None
+            for point in points]
+        resumed: Dict[str, SweepOutcome] = {}
+        if self.resume and journaling and self.journal_path.exists():
+            resumed = completed_outcomes(load_journal(self.journal_path))
         miss_indices: List[int] = []
-        keys: List[Optional[str]] = [None] * len(points)
         for i, point in enumerate(points):
-            if self.use_cache:
-                keys[i] = point.cache_key()
-                # A traced/instrumented point must actually execute (a
-                # cache hit would produce no artifacts), but its result
-                # is still written back under the observer-free key.
-                if point.trace is None and point.metrics is None:
-                    cached = self.cache.get(keys[i])
-                    if cached is not None:
-                        outcomes[i] = cached
-                        self.stats.hits += 1
-                        continue
-                self.stats.misses += 1
-            else:
-                self.stats.misses += 1
+            # A traced/instrumented point must actually execute (a
+            # journal/cache hit would produce no artifacts), but its
+            # result is still recorded under the observer-free key.
+            observer_free = point.trace is None and point.metrics is None
+            if observer_free and keys[i] in resumed:
+                outcomes[i] = resumed[keys[i]]
+                self.stats.resumed += 1
+                if self.use_cache:  # backfill: journal -> cache
+                    self.cache.put(keys[i], outcomes[i])
+                continue
+            if self.use_cache and observer_free:
+                cached = self.cache.get(keys[i])
+                if cached is not None:
+                    outcomes[i] = cached
+                    self.stats.hits += 1
+                    continue
+            self.stats.misses += 1
             miss_indices.append(i)
         self.stats.executed += len(miss_indices)
 
-        # Execute misses in rounds: round 0 is the first attempt, each
-        # further round retries the still-retryable failures.
-        pending = list(miss_indices)
-        last_failure: Dict[int, GuardedOutcome] = {}
-        for attempt in range(self.retries + 1):
-            if not pending:
-                break
-            if attempt > 0:
-                time.sleep(self.retry_backoff * (2 ** (attempt - 1)))
-                self.stats.retried += len(pending)
-            tagged = self._execute([points[i] for i in pending])
-            still_failing: List[int] = []
-            for i, tag in zip(pending, tagged):
-                if tag[0] == "ok":
-                    outcomes[i] = tag[1]
-                    run_result = tag[1][0]
-                    if run_result.wall_clock_s > 0:
-                        self.stats.sim_seconds += run_result.wall_clock_s
-                        self.stats.sim_cycles += int(
-                            run_result.simulated_cycles_per_sec
-                            * run_result.wall_clock_s + 0.5)
-                    last_failure.pop(i, None)
-                    if self.use_cache and keys[i] is not None:
-                        self.cache.put(keys[i], tag[1])
-                    continue
-                last_failure[i] = tag
-                if tag[0] in RETRYABLE_KINDS:
-                    still_failing.append(i)
-                # Non-retryable errors are final: no more rounds for them.
-            pending = still_failing
+        old_handlers = self._install_signal_handlers() if journaling \
+            else {}
+        if journaling:
+            self._journal = SweepJournal(self.journal_path)
+            self._journal.append({"ev": "sweep", "total": len(points),
+                                  "executing": len(miss_indices),
+                                  "resume": self.resume})
+            for i in miss_indices:
+                self._journal.append({"ev": "queued", "key": keys[i],
+                                      "point": point_basename(points[i])})
+
+        def point_complete(i: int, tag: GuardedOutcome) -> None:
+            """Fires as each point finishes - before any later crash."""
+            if tag[0] == "ok":
+                # Recorded immediately (not at end-of-round) so an
+                # interrupt mid-round still counts and returns it.
+                outcomes[i] = tag[1]
+                if self.use_cache and keys[i] is not None:
+                    self.cache.put(keys[i], tag[1])
+                self._journal_append({
+                    "ev": "done", "key": keys[i],
+                    "result": tag[1][0].to_dict(),
+                    "energy": tag[1][1].to_dict()})
+
+        try:
+            # Execute misses in rounds: round 0 is the first attempt,
+            # each further round retries the still-retryable failures.
+            pending = list(miss_indices)
+            last_failure: Dict[int, GuardedOutcome] = {}
+            for attempt in range(self.retries + 1):
+                if not pending:
+                    break
+                if attempt > 0:
+                    # Full jitter, capped: sleeping the deterministic
+                    # maximum synchronizes every recovering runner onto
+                    # the same retry instant.
+                    delay = min(self.retry_backoff * (2 ** (attempt - 1)),
+                                self.retry_backoff_max)
+                    if delay > 0:
+                        time.sleep(random.uniform(0.0, delay))
+                    self.stats.retried += len(pending)
+                tagged = self._execute([points[i] for i in pending],
+                                       [keys[i] for i in pending],
+                                       pending, point_complete)
+                still_failing: List[int] = []
+                for i, tag in zip(pending, tagged):
+                    if tag[0] == "ok":
+                        outcomes[i] = tag[1]
+                        run_result = tag[1][0]
+                        if run_result.wall_clock_s > 0:
+                            self.stats.sim_seconds += run_result.wall_clock_s
+                            self.stats.sim_cycles += int(
+                                run_result.simulated_cycles_per_sec
+                                * run_result.wall_clock_s + 0.5)
+                        last_failure.pop(i, None)
+                        continue
+                    last_failure[i] = tag
+                    if tag[0] in RETRYABLE_KINDS:
+                        still_failing.append(i)
+                    # Non-retryable errors are final: no more rounds.
+                pending = still_failing
+        except SweepInterrupted as exc:
+            completed = sum(1 for o in outcomes if o is not None)
+            exc.diagnostics.setdefault("journal", str(self.journal_path))
+            exc.diagnostics["completed"] = completed
+            exc.diagnostics["total"] = len(points)
+            self._journal_append({"ev": "interrupted",
+                                  "completed": completed,
+                                  "total": len(points)})
+            raise
+        finally:
+            self._restore_signal_handlers(old_handlers)
+            if self._journal is not None:
+                self._journal.close()
+                self._journal = None
 
         for i, tag in sorted(last_failure.items()):
             kind, message = tag[0], tag[1]
@@ -671,11 +930,53 @@ class SweepRunner:
             attempts = 1 + (self.retries if kind in RETRYABLE_KINDS else 0)
             failed = FailedRun(point=points[i], kind=kind, message=message,
                                diagnostics=diagnostics, attempts=attempts)
+            if journaling:
+                with SweepJournal(self.journal_path) as journal:
+                    journal.append({"ev": "failed", "key": keys[i],
+                                    "kind": kind, "message": message})
             if not self.partial:
                 raise failed.to_exception()
             self.failures.append(failed)
             self.stats.failures += 1
         return outcomes
+
+    # -- journal / signal plumbing ------------------------------------------
+    def _journal_append(self, record: Dict[str, Any]) -> None:
+        if self._journal is not None:
+            self._journal.append(record)
+
+    def _install_signal_handlers(self) -> Dict[int, Any]:
+        """Arrange for the first SIGINT/SIGTERM to stop the sweep
+        gracefully (raise :class:`SweepInterrupted` at the next safe
+        bytecode boundary) and a second one to hard-exit.  Only possible
+        from the main thread; elsewhere the default handling stands."""
+        if threading.current_thread() is not threading.main_thread():
+            return {}
+        fired = {"flag": False}
+
+        def _on_signal(signum, frame):
+            if fired["flag"]:
+                os._exit(130)
+            fired["flag"] = True
+            raise SweepInterrupted(
+                f"sweep interrupted by signal {signum}; partial results "
+                f"and journal are on disk", {"signal": signum})
+
+        old: Dict[int, Any] = {}
+        for signum in (signal.SIGINT, signal.SIGTERM):
+            try:
+                old[signum] = signal.signal(signum, _on_signal)
+            except (OSError, ValueError):
+                pass
+        return old
+
+    @staticmethod
+    def _restore_signal_handlers(old: Dict[int, Any]) -> None:
+        for signum, handler in old.items():
+            try:
+                signal.signal(signum, handler)
+            except (OSError, ValueError):
+                pass
 
     def run_one(self, point: DesignPoint) -> SweepOutcome:
         outcome = self.run([point])[0]
@@ -684,53 +985,53 @@ class SweepRunner:
         return outcome
 
     # -- execution backends -------------------------------------------------
-    def _execute(self, points: List[DesignPoint]) -> List[GuardedOutcome]:
+    def _execute(self, points: List[DesignPoint],
+                 keys: List[Optional[str]], indices: List[int],
+                 on_complete: Callable[[int, GuardedOutcome], None]
+                 ) -> List[GuardedOutcome]:
         if not points:
             return []
         workers = min(self.jobs, len(points))
         if workers <= 1:
-            return [_guarded_execute(p, self.timeout) for p in points]
-        return self._execute_pool(points, workers)
+            tags = []
+            for point, key, i in zip(points, keys, indices):
+                self._journal_append({"ev": "leased", "key": key,
+                                      "pid": os.getpid(), "worker": -1})
+                tag = _guarded_execute(point, self.timeout)
+                on_complete(i, tag)
+                tags.append(tag)
+            return tags
+        return self._execute_pool(points, keys, indices, workers,
+                                  on_complete)
 
     def _execute_pool(self, points: List[DesignPoint],
-                      workers: int) -> List[GuardedOutcome]:
+                      keys: List[Optional[str]], indices: List[int],
+                      workers: int,
+                      on_complete: Callable[[int, GuardedOutcome], None]
+                      ) -> List[GuardedOutcome]:
         # Spawn (not fork): workers re-import repro from scratch, so the
         # parent's in-process caches and module state cannot leak in and
-        # results match a fresh serial run bit for bit.
-        ctx = multiprocessing.get_context("spawn")
-        # The outer guard only has to catch workers wedged so hard the
-        # in-worker SIGALRM never fired; it is deliberately generous so
-        # slow-but-alive workers are judged by their own alarm.
-        guard = None if self.timeout is None else 2 * self.timeout + 30
-        results: List[GuardedOutcome] = []
-        abandoned = False
-        executor = ProcessPoolExecutor(max_workers=workers, mp_context=ctx)
-        try:
-            futures = [executor.submit(_guarded_execute, p, self.timeout)
-                       for p in points]
-            for fut in futures:
-                if abandoned:
-                    results.append(("timeout", "worker pool abandoned after "
-                                    "an unresponsive worker", {}))
-                    continue
-                try:
-                    results.append(fut.result(timeout=guard))
-                except FutureTimeout:
-                    # The worker ignored its own alarm; abandon the pool
-                    # (a wedged process would hang a graceful shutdown).
-                    results.append(
-                        ("timeout",
-                         f"worker unresponsive after {guard:g}s "
-                         "(in-run timeout did not fire)", {}))
-                    executor.shutdown(wait=False, cancel_futures=True)
-                    abandoned = True
-                except Exception as exc:  # worker died: BrokenProcessPool &c
-                    results.append(
-                        ("crash", f"{type(exc).__name__}: {exc}", {}))
-        finally:
-            if not abandoned:
-                executor.shutdown(wait=True)
-        return results
+        # results match a fresh serial run bit for bit.  The supervisor
+        # (lease + heartbeat per point) confines any worker death to the
+        # point it was running; see repro.experiments.supervisor.
+        from .supervisor import PoolSupervisor
+
+        def on_event(record: Dict[str, Any]) -> None:
+            if record["ev"] == "leased":
+                self._journal_append({"ev": "leased",
+                                      "key": keys[record["index"]],
+                                      "pid": record["pid"],
+                                      "worker": record["worker"]})
+            elif record["ev"] == "requeued":
+                self._journal_append({"ev": "requeued",
+                                      "key": keys[record["index"]],
+                                      "reason": record["reason"]})
+
+        supervisor = PoolSupervisor(
+            workers, self.timeout, on_event=on_event,
+            on_done=lambda local, tag: on_complete(indices[local], tag))
+        self.last_supervisor = supervisor
+        return supervisor.run(points)
 
 
 # ---------------------------------------------------------------------------
@@ -753,7 +1054,10 @@ def configure(jobs: Optional[int] = None,
               retries: Optional[int] = None,
               partial: Optional[bool] = None,
               trace: Optional[TraceSpec] = None,
-              metrics: Optional[MetricsSpec] = None) -> SweepRunner:
+              metrics: Optional[MetricsSpec] = None,
+              checkpoint: Optional[CheckpointSpec] = None,
+              journal_path: Optional[Path] = None,
+              resume: Optional[bool] = None) -> SweepRunner:
     """Adjust the default runner (e.g. from ``--jobs`` / ``--no-cache``)."""
     runner = get_runner()
     if jobs is not None:
@@ -776,6 +1080,12 @@ def configure(jobs: Optional[int] = None,
         runner.trace = trace
     if metrics is not None:
         runner.metrics = metrics
+    if checkpoint is not None:
+        runner.checkpoint = checkpoint
+    if journal_path is not None:
+        runner.journal_path = Path(journal_path)
+    if resume is not None:
+        runner.resume = resume
     return runner
 
 

@@ -1,0 +1,299 @@
+"""Supervised worker pool for sweep execution (crash safety, ISSUE 8).
+
+The old ``ProcessPoolExecutor`` path was blind: a SIGKILLed/OOMed worker
+broke the whole pool (``BrokenProcessPool`` fails every outstanding
+future, finished or not), and the parent could not tell *which* point
+died.  This supervisor tracks a lease per in-flight point:
+
+* workers announce ``lease`` before executing and ``done`` after, and a
+  daemon thread heartbeats every second;
+* a dead worker (SIGKILL, OOM, segfault) forfeits its lease - the lost
+  point is re-enqueued (bounded by ``max_requeues``) and a replacement
+  worker is spawned; every *other* point is untouched;
+* a wedged worker - lease older than the outer guard, or heartbeats
+  gone silent while the process still shows alive - is killed and
+  handled the same way (the lease-expiry case reports ``timeout`` so
+  the runner's retry policy applies);
+* completions are delivered to the caller *as they happen* via
+  ``on_done``, so journal/cache writes land before any later crash.
+
+Determinism: outcomes are keyed by submission index, so the returned
+list is in submission order regardless of scheduling, and each point's
+result is independent of which worker ran it (spawned workers import
+``repro`` from scratch; points share no state).
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+import queue
+import threading
+import time
+from typing import Any, Callable, Dict, List, Optional, Tuple
+
+#: Seconds between worker heartbeats.
+HEARTBEAT_PERIOD = 1.0
+#: A live-looking process whose heartbeats stopped this long ago is
+#: treated as frozen and killed.  Generous: heartbeats come from a
+#: dedicated daemon thread, so only a truly stuck process goes silent.
+HEARTBEAT_STALE = 60.0
+#: With no lease outstanding, tasks believed queued but not picked up
+#: within this window are presumed lost (a worker died between
+#: dequeueing and announcing the lease) and are re-enqueued.
+STALL_GRACE = 10.0
+
+
+def _worker_main(worker_id: int, task_q, result_q,
+                 timeout: Optional[float]) -> None:
+    """Worker process entry point (spawn-safe, module top level)."""
+    parent = os.getppid()
+
+    def _beat(stop: threading.Event) -> None:
+        while not stop.wait(HEARTBEAT_PERIOD):
+            if os.getppid() != parent:
+                # Orphaned (parent SIGKILLed): nobody is reading our
+                # results and nobody will tell us to exit.
+                os._exit(2)
+            try:
+                result_q.put(("hb", worker_id, time.time()))
+            except Exception:  # noqa: BLE001 - queue torn down
+                return
+
+    stop = threading.Event()
+    threading.Thread(target=_beat, args=(stop,), daemon=True).start()
+    # Imported here (not at module top) so the heavy simulator import
+    # happens once per worker, after the process bookkeeping is up.
+    from .parallel import _guarded_execute
+    while True:
+        task = task_q.get()
+        if task is None:
+            stop.set()
+            result_q.put(("bye", worker_id))
+            return
+        index, point = task
+        result_q.put(("lease", worker_id, index, os.getpid()))
+        tag = _guarded_execute(point, timeout)
+        result_q.put(("done", worker_id, index, tag))
+
+
+class PoolSupervisor:
+    """Run a batch of design points under supervised worker processes."""
+
+    def __init__(self, workers: int, timeout: Optional[float], *,
+                 max_requeues: int = 2,
+                 on_event: Optional[Callable[[Dict[str, Any]], None]] = None,
+                 on_done: Optional[Callable[[int, Tuple], None]] = None
+                 ) -> None:
+        if workers < 1:
+            raise ValueError("need at least one worker")
+        self.workers = workers
+        self.timeout = timeout
+        #: How often one point may be lost to a dying worker before it
+        #: is reported as a crash instead of re-enqueued (guards against
+        #: a "poison" point that reliably kills its host).
+        self.max_requeues = max_requeues
+        self._on_event = on_event
+        self._on_done = on_done
+        #: Observability: every lease/requeue/worker-loss event seen.
+        self.events: List[Dict[str, Any]] = []
+        #: Workers lost (killed/crashed/frozen) during the run.
+        self.workers_lost = 0
+
+    # -- event plumbing ----------------------------------------------------
+    def _emit(self, ev: str, **payload: Any) -> None:
+        record = {"ev": ev, **payload}
+        self.events.append(record)
+        if self._on_event is not None:
+            self._on_event(record)
+
+    # -- main loop ---------------------------------------------------------
+    def run(self, points: List[Any]) -> List[Tuple]:
+        n = len(points)
+        if n == 0:
+            return []
+        ctx = multiprocessing.get_context("spawn")
+        task_q = ctx.Queue()
+        result_q = ctx.Queue()
+        outcomes: List[Optional[Tuple]] = [None] * n
+        leases: Dict[int, Dict[str, Any]] = {}   # index -> lease info
+        requeues = [0] * n
+        queued = [0] * n                          # believed-queued count
+        procs: Dict[int, Any] = {}                # worker_id -> Process
+        heartbeats: Dict[int, float] = {}         # worker_id -> last beat
+        next_wid = 0
+        done_count = 0
+        # Lease expiry mirrors the old outer guard: generous, so a slow
+        # worker is judged by its own in-run alarm first.
+        guard = None if self.timeout is None else 2 * self.timeout + 30
+
+        def unfinished() -> int:
+            return n - done_count
+
+        def spawn_worker() -> None:
+            nonlocal next_wid
+            wid = next_wid
+            next_wid += 1
+            proc = ctx.Process(target=_worker_main,
+                               args=(wid, task_q, result_q, self.timeout),
+                               daemon=True)
+            proc.start()
+            procs[wid] = proc
+            heartbeats[wid] = time.monotonic()
+
+        def enqueue(index: int) -> None:
+            queued[index] += 1
+            task_q.put((index, points[index]))
+
+        def settle(index: int, tag: Tuple) -> None:
+            """Record a final outcome for a point (first writer wins)."""
+            nonlocal done_count
+            if outcomes[index] is not None:
+                return  # duplicate delivery after a defensive re-enqueue
+            outcomes[index] = tag
+            done_count += 1
+            leases.pop(index, None)
+            if self._on_done is not None:
+                self._on_done(index, tag)
+
+        def forfeit_lease(index: int, why: str) -> None:
+            """A worker lost this point; re-enqueue or give up."""
+            leases.pop(index, None)
+            if outcomes[index] is not None:
+                return
+            if requeues[index] >= self.max_requeues:
+                settle(index, ("crash",
+                               f"point lost {requeues[index] + 1} times "
+                               f"({why}); giving up", {}))
+                return
+            requeues[index] += 1
+            self._emit("requeued", index=index, reason=why,
+                       attempt=requeues[index])
+            enqueue(index)
+
+        def reap_worker(wid: int, why: str, *, kill: bool = False) -> None:
+            """Handle a dead/frozen worker: forfeit its lease, respawn."""
+            nonlocal futile_deaths
+            proc = procs.pop(wid, None)
+            heartbeats.pop(wid, None)
+            self.workers_lost += 1
+            if proc is not None and kill and proc.is_alive():
+                proc.kill()
+                proc.join(5)
+            self._emit("worker-lost", worker=wid, reason=why)
+            held = [i for i, l in leases.items() if l["worker"] == wid]
+            if held:
+                futile_deaths = 0
+            else:
+                # Died without ever leasing: likely an environment that
+                # kills workers at startup (import failure, unpicklable
+                # __main__ under spawn).  Counted so a broken setup
+                # surfaces as an error instead of an endless respawn loop.
+                futile_deaths += 1
+            for index in held:
+                forfeit_lease(index, why)
+
+        for i in range(n):
+            enqueue(i)
+        for _ in range(min(self.workers, n)):
+            spawn_worker()
+
+        last_progress = time.monotonic()
+        #: Consecutive worker deaths with no lease ever taken; reset by
+        #: any successful lease.
+        futile_deaths = 0
+        futile_limit = max(4, 2 * self.workers)
+        clean = False
+        try:
+            while done_count < n:
+                if futile_deaths >= futile_limit:
+                    for index in range(n):
+                        if outcomes[index] is None:
+                            settle(index, (
+                                "error",
+                                f"worker pool unusable: {futile_deaths} "
+                                "workers died before leasing any work "
+                                "(broken worker environment?)", {}))
+                    break
+                try:
+                    msg = result_q.get(timeout=1.0)
+                except queue.Empty:
+                    msg = None
+                now = time.monotonic()
+                if msg is not None:
+                    kind, wid = msg[0], msg[1]
+                    if kind == "hb":
+                        heartbeats[wid] = now
+                    elif kind == "lease":
+                        _, _, index, pid = msg
+                        heartbeats[wid] = now
+                        last_progress = now
+                        futile_deaths = 0
+                        if queued[index] > 0:
+                            queued[index] -= 1
+                        leases[index] = {"worker": wid, "pid": pid,
+                                         "since": now}
+                        self._emit("leased", index=index, worker=wid,
+                                   pid=pid)
+                    elif kind == "done":
+                        _, _, index, tag = msg
+                        heartbeats[wid] = now
+                        last_progress = now
+                        settle(index, tag)
+                    elif kind == "bye":
+                        procs.pop(wid, None)
+                        heartbeats.pop(wid, None)
+                # -- liveness sweeps --------------------------------------
+                for wid in [w for w, p in procs.items() if not p.is_alive()]:
+                    reap_worker(wid, "worker process died")
+                    last_progress = now
+                if guard is not None:
+                    for index in [i for i, l in leases.items()
+                                  if now - l["since"] > guard]:
+                        wid = leases[index]["worker"]
+                        # Below even the in-run alarm's reach: kill the
+                        # host and report the point as timed out so the
+                        # runner's retry policy applies.
+                        settle(index, (
+                            "timeout",
+                            f"worker unresponsive after {guard:g}s "
+                            "(in-run timeout did not fire)", {}))
+                        if wid in procs:
+                            reap_worker(wid, "lease expired", kill=True)
+                        last_progress = now
+                for wid in [w for w, t in heartbeats.items()
+                            if now - t > HEARTBEAT_STALE and w in procs]:
+                    reap_worker(wid, "heartbeats went silent", kill=True)
+                    last_progress = now
+                # -- lost-before-lease reconciliation ---------------------
+                if (not leases and done_count < n
+                        and now - last_progress > STALL_GRACE
+                        and task_q.empty()):
+                    for index in range(n):
+                        if outcomes[index] is None and index not in leases:
+                            forfeit_lease(index,
+                                          "task vanished before lease")
+                    last_progress = now
+                # -- keep the pool at strength ----------------------------
+                while len(procs) < min(self.workers, unfinished()):
+                    spawn_worker()
+            clean = True
+        finally:
+            if clean:
+                for _ in procs:
+                    task_q.put(None)
+                deadline = time.monotonic() + 10
+                for proc in list(procs.values()):
+                    proc.join(max(0.1, deadline - time.monotonic()))
+            for proc in procs.values():
+                if proc.is_alive():
+                    proc.kill()
+                    proc.join(1)
+            # Unblock queue feeder threads so interpreter exit never
+            # hangs on unflushed buffers.
+            task_q.cancel_join_thread()
+            result_q.cancel_join_thread()
+            task_q.close()
+            result_q.close()
+        assert all(tag is not None for tag in outcomes)
+        return outcomes  # type: ignore[return-value]

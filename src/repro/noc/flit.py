@@ -8,16 +8,38 @@ packets are single-flit and long packets have 5 flits (Section 5.2).
 
 from __future__ import annotations
 
-import itertools
 from typing import List, Optional
 
-_packet_ids = itertools.count()
+_next_packet_id = 0
+
+
+def _take_packet_id() -> int:
+    global _next_packet_id
+    pid = _next_packet_id
+    _next_packet_id = pid + 1
+    return pid
 
 
 def reset_packet_ids() -> None:
     """Reset the global packet id counter (used by tests for determinism)."""
-    global _packet_ids
-    _packet_ids = itertools.count()
+    global _next_packet_id
+    _next_packet_id = 0
+
+
+def packet_id_state() -> int:
+    """The next pid this process would assign.
+
+    Captured by :meth:`repro.noc.network.Network.snapshot` so a run
+    restored in a fresh process continues the exact pid sequence the
+    original run would have produced.
+    """
+    return _next_packet_id
+
+
+def set_packet_id_state(next_pid: int) -> None:
+    """Restore the process-global pid sequence (snapshot restore)."""
+    global _next_packet_id
+    _next_packet_id = int(next_pid)
 
 
 class FlitType:
@@ -39,7 +61,7 @@ class Packet:
 
     def __init__(self, src: int, dst: int, length: int, created_cycle: int,
                  klass: int = 0) -> None:
-        self.pid = next(_packet_ids)
+        self.pid = _take_packet_id()
         self.src = src
         self.dst = dst
         self.length = length

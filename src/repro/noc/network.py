@@ -45,6 +45,8 @@ or the ``REPRO_NO_SKIP=1`` environment variable force the dense scans
 from __future__ import annotations
 
 import os
+import pickle
+from dataclasses import dataclass, field
 from time import perf_counter
 from typing import Dict, List, Optional, Set, Tuple
 
@@ -64,7 +66,7 @@ from ..trace.events import EventKind
 from ..trace.recorder import EventTrace
 from . import activity
 from .activity import ActiveSet
-from .flit import Flit, Packet
+from .flit import Flit, Packet, packet_id_state, set_packet_id_state
 from .link import DelayLine, Link
 from .ni import NetworkInterface
 from .router import Router
@@ -119,6 +121,63 @@ def _empty_faultplan_env() -> bool:
     prove zero behavioural drift against a plan-less run."""
     return os.environ.get("REPRO_EMPTY_FAULTPLAN", "").strip().lower() in (
         "1", "true", "yes", "on")
+
+
+#: Snapshot wire-format version.  Bump whenever the pickled ``Network``
+#: object graph or the fields below change incompatibly; ``restore``
+#: rejects snapshots from any other version so a stale checkpoint can
+#: never silently resume against new semantics.
+SNAPSHOT_VERSION = 1
+
+
+@dataclass
+class RunProgress:
+    """Where a run is inside the warmup/measure/drain phase machine.
+
+    Picklable alongside a :class:`NetworkSnapshot` so a checkpointed run
+    resumes mid-phase.  ``done`` counts completed cycles of the *current*
+    phase; the phase-boundary side effects (``start_measurement``, the
+    counter snapshots) fire when :meth:`Network.run_segment` observes the
+    phase is complete, so they run exactly once whether or not the run
+    paused at that boundary.
+    """
+
+    warmup: int
+    measure: int
+    drain: int
+    phase: str = "warmup"  # warmup | measure | drain | done
+    done: int = 0
+    snapshot_start: Dict = field(default_factory=dict)
+    snapshot_end: Dict = field(default_factory=dict)
+
+    @property
+    def total_cycles_done(self) -> int:
+        """Cycles executed so far across completed and current phases."""
+        cycles = self.done
+        if self.phase in ("measure", "drain", "done"):
+            cycles += self.warmup
+        if self.phase in ("drain", "done"):
+            cycles += self.measure
+        return cycles
+
+
+@dataclass
+class NetworkSnapshot:
+    """A self-contained, versioned capture of a mid-run simulation.
+
+    ``blob`` is the pickled ``Network`` object graph (routers, VC
+    buffers, links and their delay lines, NIs, PG controller FSMs, stats
+    collector, activity sets, fault state, trace/metrics observers).
+    ``next_packet_id`` carries the process-global pid counter so a
+    restore in a *fresh* process continues the exact pid sequence.
+    Taking the snapshot never mutates simulation state.
+    """
+
+    version: int
+    backend: str
+    cycle: int
+    next_packet_id: int
+    blob: bytes
 
 
 class Network:
@@ -1215,27 +1274,117 @@ class Network:
         warmup = cfg.warmup_cycles if warmup is None else warmup
         measure = cfg.measure_cycles if measure is None else measure
         drain = cfg.drain_cycles if drain is None else drain
-        snapshot_start: Dict = {}
-        for _ in range(warmup):
-            self._inject_arrivals(traffic)
+        result = self.run_segment(traffic, RunProgress(warmup, measure,
+                                                       drain))
+        assert result is not None  # no max_cycles -> runs to completion
+        return result
+
+    def run_segment(self, traffic, progress: RunProgress, *,
+                    max_cycles: Optional[int] = None,
+                    on_cycle=None) -> Optional[RunResult]:
+        """Advance the warmup/measure/drain phase machine.
+
+        Executes at most ``max_cycles`` simulation cycles (unbounded when
+        None) and returns the :class:`RunResult` once the run completes,
+        or None when paused with ``progress`` updated in place - call
+        again (with the same traffic source, or a restored snapshot of
+        it) to continue.  ``on_cycle(net, progress)`` fires after every
+        executed cycle, at a phase-consistent boundary - the periodic
+        checkpoint hook.  With ``max_cycles=None`` and ``on_cycle=None``
+        this performs exactly the operations of the pre-resumable run
+        loop, in the same order.
+        """
+        budget = max_cycles
+        while True:
+            phase = progress.phase
+            if phase == "warmup":
+                if progress.done >= progress.warmup:
+                    self.stats.start_measurement(self.now)
+                    progress.snapshot_start = self._snapshot_counters()
+                    progress.phase = "measure"
+                    progress.done = 0
+                    continue
+            elif phase == "measure":
+                if progress.done >= progress.measure:
+                    progress.snapshot_end = self._snapshot_counters()
+                    self.stats.stop_measurement(self.now)
+                    progress.phase = "drain"
+                    progress.done = 0
+                    continue
+            elif phase == "drain":
+                # With retransmission enabled the drain also waits for
+                # pending delivery confirmations, so timed-out packets get
+                # their bounded retries before the run ends.
+                if not (progress.done < progress.drain
+                        and (self._outstanding > 0
+                             or (self._faults is not None
+                                 and self._faults.busy))):
+                    progress.phase = "done"
+                    continue
+            else:  # done
+                return self._build_result(progress.measure,
+                                          progress.snapshot_start,
+                                          progress.snapshot_end)
+            if budget is not None:
+                if budget <= 0:
+                    return None
+                budget -= 1
+            if phase != "drain":
+                self._inject_arrivals(traffic)
             self.step()
-        self.stats.start_measurement(self.now)
-        snapshot_start = self._snapshot_counters()
-        for _ in range(measure):
-            self._inject_arrivals(traffic)
-            self.step()
-        snapshot_end = self._snapshot_counters()
-        self.stats.stop_measurement(self.now)
-        drained = 0
-        while drained < drain and (
-                self._outstanding > 0
-                or (self._faults is not None and self._faults.busy)):
-            # With retransmission enabled the drain also waits for pending
-            # delivery confirmations, so timed-out packets get their
-            # bounded retries before the run ends.
-            self.step()
-            drained += 1
-        return self._build_result(measure, snapshot_start, snapshot_end)
+            progress.done += 1
+            if on_cycle is not None:
+                on_cycle(self, progress)
+
+    # ------------------------------------------------------------------
+    # snapshot / restore (crash safety)
+    # ------------------------------------------------------------------
+    def __getstate__(self):
+        # The kernel profile is process-global instrumentation, not
+        # simulation state: drop it from pickles and rebind on restore so
+        # a snapshot never smuggles one process's profiling counters
+        # (or a stale object identity) into another.
+        state = self.__dict__.copy()
+        state["_profile"] = None
+        return state
+
+    def __setstate__(self, state):
+        self.__dict__.update(state)
+        self._profile = (activity.global_profile()
+                         if activity.profiling_enabled() else None)
+
+    def snapshot(self) -> NetworkSnapshot:
+        """Capture the complete simulation state as a picklable value.
+
+        The capture is a deep copy (via pickle): continuing to step this
+        network does not mutate the snapshot, and restoring - in this
+        process or another - yields an independent network that replays
+        the remaining cycles byte-identically (the differential oracle in
+        tests/test_snapshot_restore.py).
+        """
+        return NetworkSnapshot(
+            version=SNAPSHOT_VERSION,
+            backend=self.backend,
+            cycle=self.now,
+            next_packet_id=packet_id_state(),
+            blob=pickle.dumps(self, protocol=pickle.HIGHEST_PROTOCOL),
+        )
+
+    @staticmethod
+    def restore(snap: NetworkSnapshot) -> "Network":
+        """Rebuild a network from :meth:`snapshot`.
+
+        Also restores the process-global packet-id sequence, so pids
+        assigned after the restore match the ones the original process
+        would have assigned.
+        """
+        if snap.version != SNAPSHOT_VERSION:
+            raise ValueError(
+                f"snapshot version {snap.version} is incompatible with "
+                f"this build (expected {SNAPSHOT_VERSION})")
+        net = pickle.loads(snap.blob)
+        set_packet_id_state(snap.next_packet_id)
+        return net
 
     def _inject_arrivals(self, traffic) -> None:
         for src, dst, length in traffic.arrivals(self.now):

@@ -1,0 +1,204 @@
+"""Crash-safety satellites: cache checksums, retry jitter, watchdog.
+
+* the result cache carries a SHA-256 content checksum; an entry whose
+  values were silently altered (bit rot, truncation that still parses)
+  is quarantined as ``<key>.corrupt`` instead of being served;
+* retry backoff uses *full jitter* with a hard ceiling, so a fleet of
+  recovering runners cannot synchronize into a thundering herd;
+* where ``SIGALRM`` cannot fire (non-main thread), ``--timeout`` is
+  enforced by a watchdog thread - with a one-time warning - instead of
+  being silently dropped.
+"""
+
+import json
+import threading
+import warnings
+
+import pytest
+
+from repro.config import Design, NoCConfig, SimConfig
+from repro.experiments import parallel
+from repro.experiments.parallel import (CACHE_FORMAT, DesignPoint,
+                                        ResultCache, SweepRunner,
+                                        _content_checksum,
+                                        _guarded_execute, uniform_spec)
+
+
+def point(measure=400, drain=600):
+    return DesignPoint(
+        cfg=SimConfig(design=Design.NORD, noc=NoCConfig(width=4, height=4),
+                      warmup_cycles=100, measure_cycles=measure,
+                      drain_cycles=drain),
+        traffic=uniform_spec(0.08, seed=1))
+
+
+# ---------------------------------------------------------------------------
+# cache content checksums
+# ---------------------------------------------------------------------------
+def test_cache_entries_carry_content_checksum(tmp_path):
+    cache = ResultCache(tmp_path)
+    p = point()
+    tag = _guarded_execute(p, None)
+    assert tag[0] == "ok"
+    cache.put(p.cache_key(), tag[1])
+    data = json.loads(cache.path_for(p.cache_key()).read_text())
+    assert data["format"] == CACHE_FORMAT
+    assert data["sha256"] == _content_checksum(data)
+    assert cache.get(p.cache_key()) is not None
+    assert cache.quarantined == 0
+
+
+def test_tampered_value_is_quarantined(tmp_path):
+    """Bit rot that still parses as JSON: without the checksum this
+    served a wrong-but-plausible result forever."""
+    cache = ResultCache(tmp_path)
+    p = point()
+    cache.put(p.cache_key(), _guarded_execute(p, None)[1])
+    path = cache.path_for(p.cache_key())
+    data = json.loads(path.read_text())
+    data["result"]["cycles"] += 1
+    path.write_text(json.dumps(data))
+
+    assert cache.get(p.cache_key()) is None
+    assert cache.quarantined == 1
+    assert not path.exists()
+    corrupt = path.with_suffix(".corrupt")
+    assert corrupt.exists(), "quarantined entry kept for post-mortem"
+    # Quarantine is sticky: the slot reads as a miss from now on.
+    assert cache.get(p.cache_key()) is None
+
+
+def test_missing_checksum_is_quarantined(tmp_path):
+    cache = ResultCache(tmp_path)
+    p = point()
+    cache.put(p.cache_key(), _guarded_execute(p, None)[1])
+    path = cache.path_for(p.cache_key())
+    data = json.loads(path.read_text())
+    del data["sha256"]
+    path.write_text(json.dumps(data))
+    assert cache.get(p.cache_key()) is None
+    assert cache.quarantined == 1
+
+
+def test_stale_format_is_a_miss_not_corruption(tmp_path):
+    cache = ResultCache(tmp_path)
+    p = point()
+    cache.put(p.cache_key(), _guarded_execute(p, None)[1])
+    path = cache.path_for(p.cache_key())
+    data = json.loads(path.read_text())
+    data["format"] = CACHE_FORMAT - 1
+    path.write_text(json.dumps(data))
+    assert cache.get(p.cache_key()) is None
+    assert cache.quarantined == 0
+    assert path.exists()  # left in place to be overwritten
+
+
+# ---------------------------------------------------------------------------
+# retry backoff: full jitter, capped
+# ---------------------------------------------------------------------------
+def test_backoff_full_jitter_and_ceiling(monkeypatch):
+    """Each retry round sleeps uniform(0, min(base * 2**(n-1), max)) -
+    observed by pinning the randomness and recording the sleeps."""
+    sleeps = []
+    uniform_args = []
+
+    monkeypatch.setattr(parallel.time, "sleep",
+                        lambda s: sleeps.append(s))
+
+    def fake_uniform(lo, hi):
+        uniform_args.append((lo, hi))
+        return hi  # worst case: the full delay
+
+    monkeypatch.setattr(parallel.random, "uniform", fake_uniform)
+    monkeypatch.setattr(parallel, "_guarded_execute",
+                        lambda p, t: ("timeout", "synthetic", {}))
+
+    runner = SweepRunner(jobs=1, use_cache=False, retries=4, partial=True,
+                         retry_backoff=2.0, retry_backoff_max=5.0)
+    outcomes = runner.run([point()])
+    assert outcomes == [None]
+    # Rounds 1..4: 2, 4, then capped at 5, 5.
+    assert uniform_args == [(0.0, 2.0), (0.0, 4.0), (0.0, 5.0),
+                            (0.0, 5.0)]
+    assert sleeps == [2.0, 4.0, 5.0, 5.0]
+
+
+def test_backoff_max_validation():
+    with pytest.raises(ValueError):
+        SweepRunner(retry_backoff_max=-1.0)
+
+
+# ---------------------------------------------------------------------------
+# portable timeout: watchdog fallback off the main thread
+# ---------------------------------------------------------------------------
+def test_watchdog_enforces_timeout_off_main_thread():
+    """SIGALRM cannot fire outside the main thread; the watchdog must
+    still stop an over-budget run and report it as a timeout."""
+    parallel._watchdog_warned = False
+    results = []
+    caught = []
+
+    def work():
+        with warnings.catch_warnings(record=True) as seen:
+            warnings.simplefilter("always")
+            # Big enough to run for many seconds if left alone.
+            results.append(_guarded_execute(point(measure=300_000,
+                                                  drain=301_000), 0.3))
+            caught.extend(seen)
+
+    thread = threading.Thread(target=work)
+    thread.start()
+    thread.join(timeout=120)
+    assert not thread.is_alive(), "watchdog never stopped the run"
+    tag = results[0]
+    assert tag[0] == "timeout"
+    assert "watchdog" in tag[1]
+    assert any(issubclass(w.category, RuntimeWarning)
+               and "SIGALRM" in str(w.message) for w in caught)
+
+
+def test_watchdog_warns_only_once():
+    parallel._watchdog_warned = False
+    seen_counts = []
+
+    def run_once():
+        with warnings.catch_warnings(record=True) as seen:
+            warnings.simplefilter("always")
+            _guarded_execute(point(measure=50, drain=100), 30.0)
+            seen_counts.append(sum(
+                1 for w in seen if issubclass(w.category, RuntimeWarning)
+                and "SIGALRM" in str(w.message)))
+
+    for _ in range(2):
+        thread = threading.Thread(target=run_once)
+        thread.start()
+        thread.join(timeout=60)
+    assert seen_counts == [1, 0]
+
+
+def test_fast_run_unharmed_by_watchdog():
+    """A run that finishes inside the budget returns normally and the
+    cancelled watchdog leaves no pending async exception behind."""
+    results = []
+
+    def work():
+        results.append(_guarded_execute(point(), 60.0))
+        # Plenty of bytecode after the run: a leaked pending exception
+        # would detonate here.
+        acc = 0
+        for i in range(200_000):
+            acc += i
+        results.append(acc)
+
+    thread = threading.Thread(target=work)
+    thread.start()
+    thread.join(timeout=120)
+    assert not thread.is_alive()
+    assert results[0][0] == "ok"
+    assert results[1] == sum(range(200_000))
+
+
+def test_main_thread_still_uses_sigalrm():
+    tag = _guarded_execute(point(measure=300_000, drain=301_000), 0.3)
+    assert tag[0] == "timeout"
+    assert "watchdog" not in tag[1]

@@ -1,0 +1,161 @@
+"""Kernel snapshot/restore: the differential oracle (crash safety).
+
+The contract: run N cycles straight == run k cycles, ``snapshot()``,
+``restore()`` (in-process or in a fresh interpreter), run the remaining
+N - k.  The final :class:`RunResult` must be field-identical and a
+traced run must produce an identical event-stream digest, on both the
+reference and the struct-of-arrays backend.
+"""
+
+import dataclasses
+import json
+import os
+import pickle
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+from repro.config import Design, NoCConfig, SimConfig
+from repro.experiments.parallel import tornado_spec, uniform_spec
+from repro.noc import flit as flit_mod
+from repro.noc.network import (Network, NetworkSnapshot, RunProgress,
+                               SNAPSHOT_VERSION)
+from repro.trace.recorder import EventTrace
+
+SRC = Path(__file__).resolve().parent.parent / "src"
+
+
+def small_cfg(design=Design.NORD):
+    return SimConfig(design=design, noc=NoCConfig(width=4, height=4),
+                     warmup_cycles=80, measure_cycles=300,
+                     drain_cycles=500)
+
+
+def run_straight(cfg, spec, backend=None, trace=None):
+    flit_mod.reset_packet_ids()
+    net = Network(cfg, backend=backend, trace=trace)
+    result = net.run(spec.build(net.mesh))
+    return result, net
+
+
+def run_split(cfg, spec, k, backend=None, trace=None):
+    """Run ``k`` cycles, snapshot, restore from pickled bytes, finish.
+
+    Between snapshot and restore the process-global packet-id counter
+    is deliberately clobbered: restore must bring back *all* state a
+    fresh interpreter would lack.
+    """
+    flit_mod.reset_packet_ids()
+    net = Network(cfg, backend=backend, trace=trace)
+    traffic = spec.build(net.mesh)
+    progress = RunProgress(cfg.warmup_cycles, cfg.measure_cycles,
+                           cfg.drain_cycles)
+    result = net.run_segment(traffic, progress, max_cycles=k)
+    if result is not None:
+        return result, net  # run finished before the split point
+    blob = pickle.dumps((net.snapshot(), traffic, progress),
+                        protocol=pickle.HIGHEST_PROTOCOL)
+    flit_mod.reset_packet_ids()  # poison the global the snapshot owns
+    snap2, traffic2, progress2 = pickle.loads(blob)
+    net2 = Network.restore(snap2)
+    result = net2.run_segment(traffic2, progress2)
+    assert result is not None
+    return result, net2
+
+
+@pytest.mark.parametrize("design", Design.ALL)
+@pytest.mark.parametrize("backend", ["ref", "soa"])
+def test_split_equals_straight_all_designs(design, backend):
+    cfg = small_cfg(design)
+    spec = uniform_spec(0.10, seed=3)
+    want, _ = run_straight(cfg, spec, backend=backend)
+    got, net = run_split(cfg, spec, 137, backend=backend)
+    assert got.to_dict() == want.to_dict()
+    assert net.backend == backend
+
+
+@pytest.mark.parametrize("k", [0, 1, 80, 379, 380, 381])
+def test_split_at_phase_boundaries(k):
+    """Splitting exactly at (and around) the warmup->measure and
+    measure->drain transitions must not disturb the boundary side
+    effects (start/stop measurement, counter snapshots)."""
+    cfg = small_cfg(Design.NORD)
+    spec = tornado_spec(0.12, seed=5)
+    want, _ = run_straight(cfg, spec)
+    got, _ = run_split(cfg, spec, k)
+    assert got.to_dict() == want.to_dict()
+
+
+def test_trace_digest_survives_snapshot():
+    """The event trace rides inside the snapshot: a split traced run
+    yields the same canonical-stream digest as a straight one."""
+    cfg = small_cfg(Design.NORD)
+    spec = uniform_spec(0.10, seed=3)
+    _, net_a = run_straight(cfg, spec, trace=EventTrace())
+    _, net_b = run_split(cfg, spec, 200, trace=EventTrace())
+    assert net_a.trace.digest() == net_b.trace.digest()
+
+
+def test_snapshot_is_versioned_and_restore_rejects_drift():
+    cfg = small_cfg(Design.NO_PG)
+    net = Network(cfg)
+    snap = net.snapshot()
+    assert isinstance(snap, NetworkSnapshot)
+    assert snap.version == SNAPSHOT_VERSION
+    assert snap.backend == net.backend
+    bad = dataclasses.replace(snap, version=SNAPSHOT_VERSION + 1)
+    with pytest.raises(ValueError, match="snapshot"):
+        Network.restore(bad)
+
+
+def test_restore_resumes_packet_id_counter():
+    cfg = small_cfg(Design.NORD)
+    spec = uniform_spec(0.10, seed=3)
+    flit_mod.reset_packet_ids()
+    net = Network(cfg)
+    traffic = spec.build(net.mesh)
+    progress = RunProgress(cfg.warmup_cycles, cfg.measure_cycles,
+                           cfg.drain_cycles)
+    assert net.run_segment(traffic, progress, max_cycles=150) is None
+    snap = net.snapshot()
+    before = flit_mod.packet_id_state()
+    assert snap.next_packet_id == before
+    flit_mod.reset_packet_ids()
+    Network.restore(snap)
+    assert flit_mod.packet_id_state() == before
+
+
+def test_restore_in_fresh_process_matches():
+    """End-to-end crash shape: snapshot here, finish the run in a brand
+    new interpreter, compare against the uninterrupted result."""
+    cfg = small_cfg(Design.NORD)
+    spec = uniform_spec(0.10, seed=3)
+    want, _ = run_straight(cfg, spec)
+
+    flit_mod.reset_packet_ids()
+    net = Network(cfg)
+    traffic = spec.build(net.mesh)
+    progress = RunProgress(cfg.warmup_cycles, cfg.measure_cycles,
+                           cfg.drain_cycles)
+    assert net.run_segment(traffic, progress, max_cycles=137) is None
+    blob = pickle.dumps((net.snapshot(), traffic, progress),
+                        protocol=pickle.HIGHEST_PROTOCOL)
+
+    code = (
+        "import pickle, sys, json\n"
+        "from repro.noc.network import Network\n"
+        "snap, traffic, progress = pickle.loads(sys.stdin.buffer.read())\n"
+        "net = Network.restore(snap)\n"
+        "result = net.run_segment(traffic, progress)\n"
+        "print(json.dumps(result.to_dict(), sort_keys=True))\n"
+    )
+    env = dict(os.environ)
+    env["PYTHONPATH"] = os.pathsep.join(
+        [str(SRC)] + ([env["PYTHONPATH"]] if env.get("PYTHONPATH") else []))
+    proc = subprocess.run([sys.executable, "-c", code], input=blob,
+                          capture_output=True, timeout=300, env=env)
+    assert proc.returncode == 0, proc.stderr.decode()
+    got = json.loads(proc.stdout.decode())
+    assert got == json.loads(json.dumps(want.to_dict(), sort_keys=True))
