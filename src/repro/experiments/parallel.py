@@ -66,7 +66,10 @@ from ..traffic.synthetic import (bit_complement, hotspot, tornado,
 #: 3: cache keys fold in the resolved simulation backend (ref vs soa)
 #:    and ``TrafficSpec`` gained hotspot parameters.
 #: 4: entries carry a SHA-256 content checksum, verified on read.
-CACHE_FORMAT = 4
+#: 5: cache keys fold in the resolved fast-mode flag (soa fast kernel),
+#:    so fast and plain results never share an entry even though they
+#:    are proven RunResult-identical.
+CACHE_FORMAT = 5
 
 #: ``DesignPoint.network`` value selecting the bufferless datapath
 #: (Section 6.8 discussion) instead of the standard ``Network``.
@@ -201,6 +204,11 @@ class DesignPoint:
     #: result-identical, but keying them separately keeps a drifting
     #: backend from silently poisoning the shared cache.
     backend: Optional[str] = None
+    #: Relaxed-identity fast mode for the SoA backend: ``True``/``False``
+    #: or ``None`` (= defer to ``REPRO_FAST``).  The *resolved* flag
+    #: enters :meth:`cache_key` under the same drift-containment policy
+    #: as ``backend``.
+    fast: Optional[bool] = None
     #: Optional periodic checkpointing (:mod:`repro.checkpoint`).
     #: Excluded from :meth:`cache_key` - a checkpointed run's result is
     #: byte-identical to an uncheckpointed one - and, unlike trace or
@@ -220,16 +228,46 @@ class DesignPoint:
         if self.backend is not None:
             from ..noc.network import resolve_backend
             resolve_backend(self.backend)  # raises on unknown names
+            if self.fast and resolve_backend(self.backend) != "soa":
+                raise ValueError(
+                    "fast mode requires the 'soa' backend; this point "
+                    f"pins backend={self.backend!r}")
 
     def resolved_backend(self) -> str:
         """The backend this point will actually run on (``ref``/``soa``).
 
         The bufferless datapath has a single implementation, so it
-        always resolves to ``ref`` regardless of the environment."""
+        always resolves to ``ref`` regardless of the environment.  A
+        fast-mode point resolves to ``soa`` (fast implies the SoA
+        backend; a conflicting explicit ``ref`` raises, mirroring
+        ``Network.__new__``)."""
         if self.network == BUFFERLESS_NETWORK:
             return "ref"
         from ..noc.network import resolve_backend
-        return resolve_backend(self.backend)
+        backend = resolve_backend(self.backend)
+        if backend != "soa" and self.resolved_fast():
+            import os
+            if (self.backend is not None
+                    or os.environ.get("REPRO_BACKEND", "").strip()):
+                raise ValueError(
+                    f"fast mode requires the 'soa' backend, but "
+                    f"{backend!r} was requested for this design point")
+            backend = "soa"
+        return backend
+
+    def resolved_fast(self) -> bool:
+        """Whether this point runs the SoA fast mode.
+
+        Observer-only features that force the reference kernel (trace,
+        metrics, faults) and the bufferless datapath resolve to False -
+        the cache key must describe the kernel that actually runs."""
+        if self.network == BUFFERLESS_NETWORK:
+            return False
+        if (self.faults is not None or self.metrics is not None
+                or self.trace is not None):
+            return False
+        from ..noc.network import resolve_fast
+        return resolve_fast(self.fast)
 
     def cache_key(self) -> str:
         """Content hash identifying this point's result on disk.
@@ -251,6 +289,7 @@ class DesignPoint:
             "network": self.network,
             "faults": faults,
             "backend": self.resolved_backend(),
+            "fast": self.resolved_fast(),
         })
 
 
@@ -303,7 +342,8 @@ def execute_point(point: DesignPoint) -> SweepOutcome:
         if point.metrics is not None:
             metrics = point.metrics.build()
         net = Network(cfg, fault_plan=point.faults, trace=trace,
-                      metrics=metrics, backend=point.backend)
+                      metrics=metrics, backend=point.backend,
+                      fast=point.fast)
     if point.checkpoint is not None and point.network != BUFFERLESS_NETWORK:
         result, net = _run_checkpointed(point, net)
         trace, metrics = net.trace, net.metrics

@@ -14,7 +14,9 @@ Points run the real :class:`~repro.noc.network.Network` directly (no
 result cache, no metrics attached), so the number is the kernel's own
 throughput.  ``--backend soa`` benches the struct-of-arrays kernel
 instead and maintains a separate ``BENCH_<host>.soa.json`` ledger, so
-each kernel is regression-gated against its own history.  Peak RSS comes from ``getrusage`` and is process-monotone
+each kernel is regression-gated against its own history; ``--backend
+soa --fast`` benches the relaxed-identity fast mode into a third
+``BENCH_<host>.soa-fast.json`` leg.  Peak RSS comes from ``getrusage`` and is process-monotone
 (a high-water mark), so it is recorded per point but reported as
 informational only - the regression gate is on cycles/sec.
 """
@@ -68,11 +70,14 @@ def normalize_host(name: Optional[str] = None) -> str:
 
 
 def ledger_path(root=".", host: Optional[str] = None,
-                backend: str = "ref") -> Path:
+                backend: str = "ref", fast: bool = False) -> Path:
     """Per-host ledger file; the non-default backend gets its own
-    ledger (``BENCH_<host>.soa.json``) so the two kernels' numbers
-    never gate each other by accident."""
+    ledger (``BENCH_<host>.soa.json``, ``BENCH_<host>.soa-fast.json``
+    for fast mode) so the kernels' numbers never gate each other by
+    accident."""
     suffix = "" if backend == "ref" else f".{backend}"
+    if fast:
+        suffix += "-fast"
     return Path(root) / f"BENCH_{normalize_host(host)}{suffix}.json"
 
 
@@ -86,13 +91,14 @@ def _peak_rss_kb() -> int:
 
 def measure_point(design: str, traffic: str, width: int, height: int,
                   cycles: Tuple[int, int, int] = FULL_CYCLES,
-                  backend: Optional[str] = None) -> Tuple[float, int]:
+                  backend: Optional[str] = None,
+                  fast: bool = False) -> Tuple[float, int]:
     """One timed run -> (simulated cycles/sec, peak RSS in KB)."""
     warmup, measure, drain = cycles
     cfg = replace(small_config(design, width=width, height=height,
                                warmup=warmup, measure=measure),
                   drain_cycles=drain)
-    net = Network(cfg, backend=backend)
+    net = Network(cfg, backend=backend, fast=fast)
     gen = TrafficSpec(kind=traffic, rate=PINNED_RATE).build(net.mesh)
     t0 = time.perf_counter()
     net.run(gen)
@@ -103,7 +109,7 @@ def measure_point(design: str, traffic: str, width: int, height: int,
 
 def run_matrix(repeats: int = 5, quick: bool = False,
                only: Optional[Iterable[str]] = None,
-               backend: Optional[str] = None,
+               backend: Optional[str] = None, fast: bool = False,
                echo=print) -> Dict[str, object]:
     """Run the pinned matrix and return the ledger dict."""
     cycles = QUICK_CYCLES if quick else FULL_CYCLES
@@ -120,7 +126,8 @@ def run_matrix(repeats: int = 5, quick: bool = False,
                 for _ in range(max(1, repeats)):
                     cps, peak = measure_point(design, traffic, w, h,
                                               cycles=cycles,
-                                              backend=resolved)
+                                              backend=resolved,
+                                              fast=fast)
                     samples.append(round(cps, 1))
                     rss = max(rss, peak)
                 median = statistics.median(samples)
@@ -131,7 +138,7 @@ def run_matrix(repeats: int = 5, quick: bool = False,
                      f"(n={len(samples)}, rss {rss} KB)")
     return {"schema": SCHEMA, "host": normalize_host(),
             "python": platform.python_version(),
-            "backend": resolved,
+            "backend": resolved, "fast": fast,
             "repeats": max(1, repeats), "quick": quick,
             "cycles": list(cycles), "points": points}
 
@@ -206,8 +213,19 @@ def main(argv: Optional[List[str]] = None) -> int:
                              "REPRO_BACKEND, then 'ref'); the soa "
                              "kernel keeps its own ledger "
                              "(BENCH_<host>.soa.json)")
+    parser.add_argument("--fast", action="store_true",
+                        help="bench the soa kernel's relaxed-identity "
+                             "fast mode; keeps a third ledger "
+                             "(BENCH_<host>.soa-fast.json)")
     args = parser.parse_args(argv)
     backend = resolve_backend(args.backend)
+    if args.fast and backend != "soa":
+        import os
+        if args.backend is not None \
+                or os.environ.get("REPRO_BACKEND", "").strip():
+            parser.error("--fast requires the soa kernel; drop the "
+                         "--backend/REPRO_BACKEND override")
+        backend = "soa"  # --fast implies the soa kernel
     if args.only:
         known = set(matrix_keys())
         for key in args.only:
@@ -216,7 +234,8 @@ def main(argv: Optional[List[str]] = None) -> int:
                              + ", ".join(sorted(known)))
     repeats = args.repeats if args.repeats != 5 or not args.quick \
         else 3
-    out = Path(args.out) if args.out else ledger_path(backend=backend)
+    out = Path(args.out) if args.out \
+        else ledger_path(backend=backend, fast=args.fast)
     baseline = None
     baseline_path = Path(args.against) if args.against else out
     if (args.check or args.against) and baseline_path.is_file():
@@ -225,7 +244,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         print(f"[bench] no baseline at {baseline_path}; writing a "
               f"fresh ledger instead of checking")
     ledger = run_matrix(repeats=repeats, quick=args.quick,
-                        only=args.only, backend=backend)
+                        only=args.only, backend=backend,
+                        fast=args.fast)
     out.write_text(json.dumps(ledger, indent=2, sort_keys=True) + "\n")
     print(f"[bench] ledger written to {out}")
     if baseline is None:

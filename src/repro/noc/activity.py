@@ -53,7 +53,10 @@ class ActiveSet:
     def sorted(self) -> list:
         """Snapshot of the members in ascending order (safe to mutate the
         set while iterating the snapshot)."""
-        return sorted(self._members)
+        members = self._members
+        if len(members) < 2:
+            return list(members)
+        return sorted(members)
 
     def __contains__(self, key) -> bool:
         return key in self._members

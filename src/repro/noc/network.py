@@ -46,6 +46,7 @@ from __future__ import annotations
 
 import os
 import pickle
+import warnings
 from dataclasses import dataclass, field
 from time import perf_counter
 from typing import Dict, List, Optional, Set, Tuple
@@ -113,6 +114,37 @@ def resolve_backend(explicit: Optional[str] = None) -> str:
             f"unknown simulation backend {name!r}; known: "
             + ", ".join(BACKENDS))
     return name
+
+
+def resolve_fast(explicit: Optional[bool] = None) -> bool:
+    """Whether fast mode is requested: explicit argument > ``REPRO_FAST``
+    > off.  Fast mode rides on the SoA backend (see
+    :class:`repro.noc.soa.FastSoANetwork`): RunResult-identical to the
+    reference kernel but exempt from event-trace digest identity."""
+    if explicit is not None:
+        return bool(explicit)
+    return os.environ.get("REPRO_FAST", "").strip().lower() in (
+        "1", "true", "yes", "on")
+
+
+#: Fallback messages already emitted this process; the dispatch warning
+#: is one-time per (feature, target) so sweeps with thousands of points
+#: do not flood stderr.  Tests clear this set to re-arm the warning.
+_FALLBACK_WARNED: Set[str] = set()
+
+
+def _warn_fallback(feature: str, requested: str, target: str) -> None:
+    """One-time warning naming the feature that forced a kernel fallback.
+
+    Fallbacks are result-identical by the backend-identity contract, but
+    silently ignoring an explicit backend/mode request makes perf numbers
+    confusing - so say it, once, with the reason."""
+    msg = (f"the {requested!r} kernel does not support {feature}; "
+           f"falling back to the {target!r} kernel (result-identical)")
+    if msg in _FALLBACK_WARNED:
+        return
+    _FALLBACK_WARNED.add(msg)
+    warnings.warn(msg, RuntimeWarning, stacklevel=4)
 
 
 def _empty_faultplan_env() -> bool:
@@ -184,37 +216,73 @@ class Network:
     """A complete simulated NoC for one design point."""
 
     #: Canonical name of the kernel implementing this instance
-    #: (:data:`BACKENDS`); the SoA subclass overrides it.
+    #: (:data:`BACKENDS`); the SoA subclasses override it.
     backend = "ref"
+    #: Relaxed-identity fast mode (:class:`repro.noc.soa.FastSoANetwork`
+    #: overrides to True): RunResult-identical, trace-digest-exempt.
+    fast = False
 
     def __new__(cls, cfg=None, *args, **kwargs):
         # Backend dispatch: ``Network(cfg, backend="soa")`` (or
         # ``REPRO_BACKEND=soa``) constructs the struct-of-arrays kernel
-        # instead.  Only the base class dispatches - subclasses (and the
-        # SoA kernel itself) construct literally.  Requests the SoA
-        # kernel cannot serve - fault injection, telemetry sampling, or
-        # an explicit dense-scan (``skip_inactive=False`` /
-        # ``REPRO_NO_SKIP``) run - fall back to the reference kernel,
-        # which is result-identical by the backend-identity contract.
+        # and ``fast=True`` (or ``REPRO_FAST=1``) its relaxed-identity
+        # fast mode.  Only the base class dispatches - subclasses (and
+        # the SoA kernels themselves) construct literally.  Requests the
+        # SoA kernels cannot serve - fault injection, telemetry
+        # sampling, or an explicit dense-scan (``skip_inactive=False`` /
+        # ``REPRO_NO_SKIP``) run - fall back to the reference kernel
+        # with a one-time warning naming the feature; a traced fast-mode
+        # request falls back to the plain SoA kernel (fast mode is
+        # trace-digest-exempt).  Every fallback is result-identical by
+        # the backend-identity contract.
         if cls is Network and cfg is not None:
             backend = resolve_backend(kwargs.get("backend"))
-            if (backend == "soa"
-                    and kwargs.get("fault_plan") is None
-                    and kwargs.get("metrics") is None
-                    and kwargs.get("skip_inactive") is not False
-                    and not _skip_disabled_by_env()
-                    and not _empty_faultplan_env()):
-                from .soa import SoANetwork
-                return super().__new__(SoANetwork)
+            fast = resolve_fast(kwargs.get("fast"))
+            if fast and backend != "soa":
+                if (kwargs.get("backend") is not None
+                        or os.environ.get("REPRO_BACKEND", "").strip()):
+                    raise ValueError(
+                        f"fast mode requires the 'soa' backend, but "
+                        f"{backend!r} was requested; drop fast=True/"
+                        f"REPRO_FAST or the backend override")
+                backend = "soa"  # fast implies soa when unconstrained
+            if backend == "soa":
+                requested = "soa-fast" if fast else "soa"
+                feature = None
+                if kwargs.get("fault_plan") is not None:
+                    feature = "fault injection"
+                elif kwargs.get("metrics") is not None:
+                    feature = "metrics sampling"
+                elif kwargs.get("skip_inactive") is False:
+                    feature = "dense scans (skip_inactive=False)"
+                elif _skip_disabled_by_env():
+                    feature = "dense scans (REPRO_NO_SKIP)"
+                elif _empty_faultplan_env():
+                    feature = ("the empty-FaultPlan drift harness "
+                               "(REPRO_EMPTY_FAULTPLAN)")
+                if feature is not None:
+                    _warn_fallback(feature, requested, "ref")
+                    return super().__new__(cls)
+                if fast and kwargs.get("trace") is not None:
+                    _warn_fallback("event tracing (fast mode is "
+                                   "trace-digest-exempt)", requested, "soa")
+                    fast = False
+                from .soa import FastSoANetwork, SoANetwork
+                return super().__new__(FastSoANetwork if fast
+                                       else SoANetwork)
         return super().__new__(cls)
 
     def __init__(self, cfg: SimConfig, threshold_policy=None, *,
                  skip_inactive: Optional[bool] = None,
                  fault_plan: Optional[FaultPlan] = None,
                  trace: Optional[EventTrace] = None,
-                 metrics=None, backend: Optional[str] = None) -> None:
+                 metrics=None, backend: Optional[str] = None,
+                 fast: Optional[bool] = None) -> None:
         if backend is not None:
             resolve_backend(backend)  # raises on unknown names
+        # ``fast`` was consumed by __new__'s dispatch (the mode lives in
+        # the class identity); it is accepted here so every kernel class
+        # shares one constructor signature.
         self.cfg = cfg
         #: Event recorder (:mod:`repro.trace`), or None.  Tracing is a
         #: pure observer: every hook below is a single attribute check

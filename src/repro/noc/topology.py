@@ -52,6 +52,11 @@ class Mesh:
             if y - 1 >= 0:
                 row[SOUTH] = self.node(x, y - 1)
             self._neighbor.append(row)
+        # Lazy per-(node, dst) route caches.  Both functions are pure
+        # geometry, and both sit on the per-flit hot path of every
+        # routing function, so each pair is computed once per Mesh.
+        self._min_cache: Dict[int, List[int]] = {}
+        self._xyp_cache: Dict[int, int] = {}
 
     def xy(self, node: int) -> Tuple[int, int]:
         return node % self.width, node // self.width
@@ -88,22 +93,51 @@ class Mesh:
     def minimal_ports(self, node: int, dst: int) -> List[int]:
         """Productive (distance-reducing) output ports from ``node``.
 
-        Returns ``[LOCAL]`` when ``node == dst``.
+        Returns ``[LOCAL]`` when ``node == dst``.  The list is cached
+        and shared between calls - callers must not mutate it.
         """
+        key = node * self.num_nodes + dst
+        ports = self._min_cache.get(key)
+        if ports is not None:
+            return ports
         if node == dst:
-            return [LOCAL]
+            ports = [LOCAL]
+        else:
+            x, y = self.xy(node)
+            dx, dy = self.xy(dst)
+            ports = []
+            if dx > x:
+                ports.append(EAST)
+            elif dx < x:
+                ports.append(WEST)
+            if dy > y:
+                ports.append(NORTH)
+            elif dy < y:
+                ports.append(SOUTH)
+        self._min_cache[key] = ports
+        return ports
+
+    def xy_port(self, node: int, dst: int) -> int:
+        """The XY (dimension-order) output port from ``node`` toward
+        ``dst``, ``LOCAL`` when equal.  Cached per pair."""
+        key = node * self.num_nodes + dst
+        port = self._xyp_cache.get(key)
+        if port is not None:
+            return port
         x, y = self.xy(node)
         dx, dy = self.xy(dst)
-        ports = []
         if dx > x:
-            ports.append(EAST)
+            port = EAST
         elif dx < x:
-            ports.append(WEST)
-        if dy > y:
-            ports.append(NORTH)
+            port = WEST
+        elif dy > y:
+            port = NORTH
         elif dy < y:
-            ports.append(SOUTH)
-        return ports
+            port = SOUTH
+        else:
+            port = LOCAL
+        self._xyp_cache[key] = port
+        return port
 
     def average_distance(self) -> float:
         """Average Manhattan distance over all ordered node pairs."""

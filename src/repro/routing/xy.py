@@ -9,23 +9,13 @@ provably deadlock-free on a mesh.
 from __future__ import annotations
 
 from ..noc.flit import Packet
-from ..noc.topology import EAST, LOCAL, NORTH, SOUTH, WEST, Mesh
+from ..noc.topology import Mesh
 from .base import RouteChoice, RouterView, RoutingFunction
 
 
 def xy_port(mesh: Mesh, node: int, dst: int) -> int:
     """The XY output port from ``node`` toward ``dst`` (LOCAL when equal)."""
-    x, y = mesh.xy(node)
-    dx, dy = mesh.xy(dst)
-    if dx > x:
-        return EAST
-    if dx < x:
-        return WEST
-    if dy > y:
-        return NORTH
-    if dy < y:
-        return SOUTH
-    return LOCAL
+    return mesh.xy_port(node, dst)
 
 
 class XYRouting(RoutingFunction):

@@ -34,9 +34,12 @@ class SyntheticTraffic(TrafficGenerator):
 
     def arrivals(self, cycle: int) -> Iterable[Arrival]:
         out: List[Arrival] = []
+        rand = self.rng.random
+        prob = self._packet_prob
+        pattern = self.pattern
         for src in range(self.num_nodes):
-            if self.rng.random() < self._packet_prob:
-                dst = self.pattern(src)
+            if rand() < prob:
+                dst = pattern(src)
                 if dst != src:
                     out.append((src, dst, self.packet_length()))
         return out

@@ -1,0 +1,347 @@
+"""Differential harness for the relaxed-identity fast mode.
+
+The fast-mode contract (DESIGN.md section 9): ``Network(cfg,
+backend="soa", fast=True)`` batches credit returns, link traversals and
+single-candidate allocator commits as flat passes over the SoA arrays,
+falling back to the reference visit order only for contended rounds.
+The result must stay :class:`RunResult` field-identical to both the
+reference kernel and the plain SoA kernel for every configuration fast
+mode serves; only event-trace digests are exempt (fast mode refuses
+tracing and falls back).
+
+Four layers of evidence live here:
+
+* a golden matrix (every design x every traffic kind, three kernels),
+* a hypothesis differential over random (design, kind, rate, seed),
+* flit/credit conservation checked directly in the flat arrays while a
+  fast run is in flight, and
+* an oracle self-test: a deliberately broken fast commit must make the
+  differential harness fail, proving the harness has teeth.
+
+Dispatch (fast implies soa, refusal of an explicit ``ref`` request,
+trace/metrics/fault fallbacks with the one-time warning) and the
+cache-key folding in the experiments runner are covered at the end.
+"""
+
+import dataclasses
+import warnings
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.config import Design, small_config
+from repro.experiments import parallel
+from repro.noc.flit import reset_packet_ids
+from repro.noc.network import (Network, RunProgress, _FALLBACK_WARNED,
+                               resolve_fast)
+from repro.noc.soa import FastSoANetwork, SoANetwork
+from repro.noc.topology import NUM_PORTS, OPPOSITE, LOCAL
+from repro.traffic.synthetic import (bit_complement, tornado, transpose,
+                                     uniform_random)
+
+TRAFFIC_MAKERS = {
+    "uniform": uniform_random,
+    "tornado": tornado,
+    "transpose": transpose,
+    "bitcomp": bit_complement,
+}
+
+
+def run_once(design, kind, *, backend="ref", fast=False, rate=0.1,
+             seed=3, width=4, height=4, warmup=60, measure=300):
+    """One deterministic run; resets the global packet-id counter so
+    every kernel sees identical packet ids."""
+    reset_packet_ids()
+    cfg = small_config(design, width=width, height=height,
+                       warmup=warmup, measure=measure)
+    net = Network(cfg, backend=backend, fast=fast)
+    traffic = TRAFFIC_MAKERS[kind](net.mesh, rate, seed=seed)
+    return net, net.run(traffic)
+
+
+def assert_identical(res_a, res_b, label):
+    if res_a == res_b:
+        return
+    diffs = []
+    for fld in res_a.__dataclass_fields__:
+        a, b = getattr(res_a, fld), getattr(res_b, fld)
+        if a != b:
+            diffs.append(f"{fld}: {a!r} != {b!r}")
+    raise AssertionError(f"fast-mode drift ({label}):\n" + "\n".join(diffs))
+
+
+class TestGoldenMatrix:
+    """ref == soa == soa+fast for every design x traffic kind."""
+
+    @pytest.mark.parametrize("design", Design.ALL)
+    @pytest.mark.parametrize("kind", sorted(TRAFFIC_MAKERS))
+    def test_three_kernels_agree(self, design, kind):
+        net_ref, res_ref = run_once(design, kind, backend="ref")
+        net_soa, res_soa = run_once(design, kind, backend="soa")
+        net_fast, res_fast = run_once(design, kind, backend="soa",
+                                      fast=True)
+        assert type(net_ref) is Network
+        assert type(net_soa) is SoANetwork
+        assert type(net_fast) is FastSoANetwork
+        assert_identical(res_ref, res_soa, f"{design}/{kind} soa")
+        assert_identical(res_ref, res_fast, f"{design}/{kind} fast")
+
+    def test_high_rate_nord(self):
+        # Saturating NoRD exercises bypass latches, ring-link batching
+        # and the wake-time credit recount (the mail-aware
+        # _restore_pred_credit) far harder than the golden rate.
+        _, res_ref = run_once(Design.NORD, "uniform", rate=0.25, seed=7)
+        _, res_fast = run_once(Design.NORD, "uniform", rate=0.25, seed=7,
+                               backend="soa", fast=True)
+        assert_identical(res_ref, res_fast, "NoRD saturated")
+
+
+class TestHypothesisDifferential:
+    @settings(max_examples=12, deadline=None,
+              suppress_health_check=[HealthCheck.too_slow])
+    @given(design=st.sampled_from(Design.ALL),
+           kind=st.sampled_from(sorted(TRAFFIC_MAKERS)),
+           rate=st.floats(min_value=0.01, max_value=0.3),
+           seed=st.integers(min_value=0, max_value=2**16))
+    def test_random_point_identity(self, design, kind, rate, seed):
+        _, res_ref = run_once(design, kind, rate=rate, seed=seed,
+                              warmup=40, measure=200)
+        _, res_fast = run_once(design, kind, rate=rate, seed=seed,
+                               warmup=40, measure=200,
+                               backend="soa", fast=True)
+        assert_identical(res_ref, res_fast,
+                         f"{design}/{kind} rate={rate} seed={seed}")
+
+
+# ---------------------------------------------------------------------------
+# conservation in the flat arrays
+# ---------------------------------------------------------------------------
+
+def _flits_in_flight(net):
+    """Every flit between NI injection and NI ejection, including the
+    fast kernel's mailboxes."""
+    total = sum(len(dq) for dq in net._fifo)
+    for row in net.links_out:
+        for link in row:
+            if link is not None:
+                total += len(link.flits._queue)
+    for line in net.inject_lines:
+        total += len(line._queue)
+    for line in net.eject_lines:
+        total += len(line._queue)
+    total += (len(net._flit_box) + len(net._flit_mid)
+              + len(net._flit_due))
+    total += len(net._inj_box) + len(net._inj_due)
+    total += len(net._ej_box) + len(net._ej_mid) + len(net._ej_due)
+    for ni in net.nis:
+        total += sum(len(q) for q in ni.latch)
+    return total
+
+
+def _check_credit_books(net, design):
+    """The flow-control invariant, per (output port, vc): credits held
+    upstream + flits in flight (queue or mail) + credit returns in
+    flight (queue or mail) + flits buffered (or latched) downstream
+    add up to the buffer depth."""
+    v_per = net._V
+    ring = getattr(net, "ring", None)
+    for node in range(net.mesh.num_nodes):
+        for port in range(NUM_PORTS):
+            if port == LOCAL:
+                continue
+            o = node * NUM_PORTS + port
+            down = net._up_node[o]
+            if down < 0:
+                continue
+            in_port = OPPOSITE[port]
+            link = net.links_out[node][port]
+            is_ring_in = (design == Design.NORD
+                          and ring.inport[down] == in_port)
+            for vc in range(v_per):
+                c = o * v_per + vc
+                # (_credit_np is not checked: the numpy discovery
+                # mirrors are documented dead state in fast mode.)
+                held = net._credit[c]
+                assert 0 <= held <= net._maxc[c], (
+                    f"credit counter {c} out of range: {held}")
+                flits_q = sum(1 for _, (w, pk, v2) in link.flits._queue
+                              if v2 == vc)
+                flits_m = sum(1 for box in (net._flit_box, net._flit_mid,
+                                            net._flit_due)
+                              for e in box if e[0] == o and e[3] == vc)
+                creds_q = sum(1 for _, v2 in link.credits._queue
+                              if v2 == vc)
+                creds_m = sum(1 for box in (net._credit_box,
+                                            net._credit_due)
+                              for cc in box if cc == c)
+                buffered = len(net._fifo[(down * NUM_PORTS + in_port)
+                                         * v_per + vc])
+                latched = (len(net.nis[down].latch[vc])
+                           if is_ring_in else 0)
+                total = (held + flits_q + flits_m + creds_q + creds_m
+                         + buffered + latched)
+                assert total == net._maxc[c], (
+                    f"credit conservation broken on link {node}->"
+                    f"{down} port {port} vc {vc}: held={held} "
+                    f"flits={flits_q}+{flits_m} creds={creds_q}+"
+                    f"{creds_m} buf={buffered} latch={latched} "
+                    f"!= {net._maxc[c]}")
+
+
+class TestConservation:
+    @pytest.mark.parametrize("design", [Design.CONV_PG, Design.NORD])
+    def test_flit_and_credit_conservation(self, design):
+        reset_packet_ids()
+        cfg = small_config(design, width=4, height=4)
+        net = Network(cfg, backend="soa", fast=True)
+        assert type(net) is FastSoANetwork
+        traffic = uniform_random(net.mesh, 0.2, seed=5)
+        prog = RunProgress(50, 250, 400)
+        checks = 0
+
+        def on_cycle(n, p):
+            nonlocal checks
+            if n.now % 25 != 0:
+                return
+            checks += 1
+            injected = sum(ni.n_injected_flits for ni in n.nis)
+            ejected = sum(ni.n_ejected_flits for ni in n.nis)
+            assert injected - ejected == _flits_in_flight(n), (
+                f"flit conservation broken at cycle {n.now}")
+            _check_credit_books(n, design)
+
+        net.run_segment(traffic, prog, on_cycle=on_cycle)
+        assert checks > 5
+
+
+# ---------------------------------------------------------------------------
+# oracle self-test: a broken fast commit must not survive the harness
+# ---------------------------------------------------------------------------
+
+class TestOracleSelfTest:
+    def test_seeded_off_by_one_is_caught(self, monkeypatch):
+        """Seed a deliberate off-by-one into the fast VA commit (an
+        extra VA-grant count) and assert the differential harness
+        reports drift - if this test ever passes with the fault in
+        place, the harness is vacuous."""
+        orig = FastSoANetwork._commit_va_fast
+
+        def off_by_one(self, node, f, resource, is_escape, port):
+            orig(self, node, f, resource, is_escape, port)
+            self._nva[node] += 1  # the deliberate bug
+
+        monkeypatch.setattr(FastSoANetwork, "_commit_va_fast", off_by_one)
+        _, res_ref = run_once(Design.NORD, "uniform")
+        _, res_fast = run_once(Design.NORD, "uniform", backend="soa",
+                               fast=True)
+        with pytest.raises(AssertionError, match="fast-mode drift"):
+            assert_identical(res_ref, res_fast, "seeded fault")
+
+    def test_oracle_passes_without_fault(self):
+        """Control arm: the same comparison is clean when nothing is
+        seeded (so the failure above is caused by the seeded bug)."""
+        _, res_ref = run_once(Design.NORD, "uniform")
+        _, res_fast = run_once(Design.NORD, "uniform", backend="soa",
+                               fast=True)
+        assert_identical(res_ref, res_fast, "control")
+
+
+# ---------------------------------------------------------------------------
+# dispatch, fallbacks, cache keys
+# ---------------------------------------------------------------------------
+
+class TestDispatch:
+    def test_fast_implies_soa(self):
+        net = Network(small_config(Design.NORD), fast=True)
+        assert type(net) is FastSoANetwork
+
+    def test_env_var_enables_fast(self, monkeypatch):
+        monkeypatch.setenv("REPRO_FAST", "1")
+        assert resolve_fast() is True
+        net = Network(small_config(Design.NORD))
+        assert type(net) is FastSoANetwork
+
+    def test_explicit_argument_beats_env(self, monkeypatch):
+        monkeypatch.setenv("REPRO_FAST", "1")
+        net = Network(small_config(Design.NORD), fast=False)
+        assert type(net) is Network
+
+    def test_explicit_ref_backend_rejected(self):
+        with pytest.raises(ValueError, match="fast mode requires"):
+            Network(small_config(Design.NORD), backend="ref", fast=True)
+
+    def test_env_ref_backend_rejected(self, monkeypatch):
+        monkeypatch.setenv("REPRO_BACKEND", "ref")
+        with pytest.raises(ValueError, match="fast mode requires"):
+            Network(small_config(Design.NORD), fast=True)
+
+    def test_trace_falls_back_to_plain_soa(self):
+        from repro.trace.recorder import EventTrace
+        _FALLBACK_WARNED.clear()
+        with pytest.warns(RuntimeWarning, match="event tracing"):
+            net = Network(small_config(Design.NORD), fast=True,
+                          trace=EventTrace())
+        assert type(net) is SoANetwork
+
+    def test_dense_scan_falls_back_to_reference(self, monkeypatch):
+        monkeypatch.setenv("REPRO_NO_SKIP", "1")
+        _FALLBACK_WARNED.clear()
+        with pytest.warns(RuntimeWarning, match="dense scans"):
+            net = Network(small_config(Design.NORD), fast=True)
+        assert type(net) is Network
+
+    def test_fallback_warning_is_one_time(self):
+        """The fallback warning names the forcing feature and fires
+        once per process per (feature, target) - a thousand-point sweep
+        must not emit a thousand warnings."""
+        from repro.trace.recorder import EventTrace
+        _FALLBACK_WARNED.clear()
+        with pytest.warns(RuntimeWarning,
+                          match="does not support event tracing"):
+            Network(small_config(Design.NORD), fast=True,
+                    trace=EventTrace())
+        with warnings.catch_warnings():
+            warnings.simplefilter("error")
+            Network(small_config(Design.NORD), fast=True,
+                    trace=EventTrace())
+
+
+class TestCacheKeys:
+    def _point(self, fast=None, backend=None):
+        return parallel.DesignPoint(
+            cfg=small_config(Design.NORD),
+            traffic=parallel.uniform_spec(0.1),
+            backend=backend, fast=fast)
+
+    def test_fast_enters_cache_key(self):
+        assert self._point(fast=True).cache_key() != \
+            self._point(fast=False).cache_key()
+
+    def test_default_fast_follows_env(self, monkeypatch):
+        assert self._point().cache_key() == \
+            self._point(fast=False).cache_key()
+        monkeypatch.setenv("REPRO_FAST", "1")
+        assert self._point().cache_key() == \
+            self._point(fast=True).cache_key()
+
+    def test_resolved_fast(self, monkeypatch):
+        assert self._point(fast=True).resolved_fast() is True
+        assert self._point().resolved_fast() is False
+        monkeypatch.setenv("REPRO_FAST", "yes")
+        assert self._point().resolved_fast() is True
+
+    def test_fast_point_resolves_soa_backend(self):
+        assert self._point(fast=True).resolved_backend() == "soa"
+
+    def test_fast_with_ref_backend_rejected(self):
+        with pytest.raises(ValueError, match="fast mode requires"):
+            self._point(fast=True, backend="ref")
+
+    def test_execute_point_honors_fast(self):
+        reset_packet_ids()
+        res_fast, _ = parallel.execute_point(self._point(fast=True))
+        reset_packet_ids()
+        res_ref, _ = parallel.execute_point(self._point(fast=False,
+                                                        backend="ref"))
+        assert_identical(res_ref, res_fast, "execute_point")

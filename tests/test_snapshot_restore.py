@@ -33,14 +33,14 @@ def small_cfg(design=Design.NORD):
                      drain_cycles=500)
 
 
-def run_straight(cfg, spec, backend=None, trace=None):
+def run_straight(cfg, spec, backend=None, trace=None, fast=None):
     flit_mod.reset_packet_ids()
-    net = Network(cfg, backend=backend, trace=trace)
+    net = Network(cfg, backend=backend, trace=trace, fast=fast)
     result = net.run(spec.build(net.mesh))
     return result, net
 
 
-def run_split(cfg, spec, k, backend=None, trace=None):
+def run_split(cfg, spec, k, backend=None, trace=None, fast=None):
     """Run ``k`` cycles, snapshot, restore from pickled bytes, finish.
 
     Between snapshot and restore the process-global packet-id counter
@@ -48,7 +48,7 @@ def run_split(cfg, spec, k, backend=None, trace=None):
     fresh interpreter would lack.
     """
     flit_mod.reset_packet_ids()
-    net = Network(cfg, backend=backend, trace=trace)
+    net = Network(cfg, backend=backend, trace=trace, fast=fast)
     traffic = spec.build(net.mesh)
     progress = RunProgress(cfg.warmup_cycles, cfg.measure_cycles,
                            cfg.drain_cycles)
@@ -74,6 +74,43 @@ def test_split_equals_straight_all_designs(design, backend):
     got, net = run_split(cfg, spec, 137, backend=backend)
     assert got.to_dict() == want.to_dict()
     assert net.backend == backend
+
+
+@pytest.mark.parametrize("design", Design.ALL)
+def test_split_equals_straight_fast_mode(design):
+    """Fast mode's mailboxes (credit/flit/inject/eject batches) are
+    pickled state: a mid-run split must carry the in-flight mail across
+    the process boundary, and the restored network must keep its
+    fast-mode class identity."""
+    from repro.noc.soa import FastSoANetwork
+    cfg = small_cfg(design)
+    spec = uniform_spec(0.10, seed=3)
+    want, _ = run_straight(cfg, spec, fast=True)
+    got, net = run_split(cfg, spec, 137, fast=True)
+    assert got.to_dict() == want.to_dict()
+    assert type(net) is FastSoANetwork
+
+
+@pytest.mark.parametrize("k", [0, 1, 80, 299, 300, 301, 379, 380, 381])
+def test_split_at_phase_boundaries_fast_mode(k):
+    """Phase-boundary splits under fast mode: the warmup->measure and
+    measure->drain side effects (start/stop measurement, counter
+    snapshots) must commute with snapshotting the mailbox state."""
+    cfg = small_cfg(Design.NORD)
+    spec = tornado_spec(0.12, seed=5)
+    want, _ = run_straight(cfg, spec, fast=True)
+    got, _ = run_split(cfg, spec, k, fast=True)
+    assert got.to_dict() == want.to_dict()
+
+
+def test_fast_split_matches_reference_straight():
+    """The strongest cross-check: a split fast-mode run equals an
+    unsplit reference-kernel run."""
+    cfg = small_cfg(Design.NORD)
+    spec = uniform_spec(0.10, seed=3)
+    want, _ = run_straight(cfg, spec, backend="ref")
+    got, _ = run_split(cfg, spec, 200, fast=True)
+    assert got.to_dict() == want.to_dict()
 
 
 @pytest.mark.parametrize("k", [0, 1, 80, 379, 380, 381])
